@@ -1,0 +1,45 @@
+// Command ekho-client is the live controller/headset demo (Ekho-Client,
+// paper §5.1): it receives the accessory stream from ekho-server, plays it
+// (logging playback timestamps), captures "microphone" audio arriving on
+// its air port from ekho-screen (the overheard screen playback), encodes it
+// and ships it back to the server with both sets of timestamps.
+//
+// A configurable clock offset is applied to every local timestamp to
+// demonstrate that Ekho needs no clock synchronization: the server still
+// measures the true inter-stream delay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ekho/internal/live"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9000", "ekho-server address")
+	airListen := flag.String("air-listen", "127.0.0.1:9100", "UDP address for overheard screen audio")
+	clockOffset := flag.Duration("clock-offset", 3200*time.Millisecond, "artificial local clock offset")
+	attenuation := flag.Float64("attenuation", 0.1, "overheard path gain")
+	jitterFrames := flag.Int("jitter-frames", 2, "jitter buffer threshold")
+	duration := flag.Duration("duration", 60*time.Second, "how long to run")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	_, err := live.RunClient(live.ClientConfig{
+		Server:       *server,
+		AirListen:    *airListen,
+		ClockOffset:  *clockOffset,
+		Attenuation:  *attenuation,
+		JitterFrames: *jitterFrames,
+		Duration:     *duration,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ekho-client:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Command ekho-corpus exports the synthetic evaluation corpus (the Table 2
+// stand-in) as WAV files for listening and external analysis. For each
+// clip it can also write the marker-infused variant at a chosen C and the
+// recording as heard by a chosen microphone — useful for auditioning how
+// inaudible the markers are and what the estimator actually receives.
+//
+//	ekho-corpus -out /tmp/corpus                 # clean clips only
+//	ekho-corpus -out /tmp/corpus -marked -c 0.5  # plus marked variants
+//	ekho-corpus -out /tmp/corpus -recorded       # plus mic recordings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ekho"
+	"ekho/internal/acoustic"
+	"ekho/internal/audio"
+	"ekho/internal/gamesynth"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	seconds := flag.Float64("seconds", gamesynth.ClipSeconds, "clip length")
+	marked := flag.Bool("marked", false, "also write marker-infused variants")
+	recorded := flag.Bool("recorded", false, "also write microphone recordings of the marked clips")
+	markerC := flag.Float64("c", ekho.DefaultMarkerVolume, "marker relative volume C")
+	only := flag.String("only", "", "export just the clip with this ID (e.g. halo-infinite#1)")
+	flag.Parse()
+
+	if err := run(*out, *seconds, *marked, *recorded, *markerC, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "ekho-corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seconds float64, marked, recorded bool, markerC float64, only string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	seq := ekho.NewMarkerSequence(42)
+	channel := acoustic.DefaultChannel()
+	n := 0
+	for _, spec := range gamesynth.Catalog() {
+		if only != "" && spec.ID() != only {
+			continue
+		}
+		clip := gamesynth.Generate(spec, seconds)
+		if err := writeWAV(filepath.Join(out, spec.ID()+".wav"), clip); err != nil {
+			return err
+		}
+		n++
+		if !marked && !recorded {
+			continue
+		}
+		mk, injections := ekho.AddMarkers(clip, seq, markerC)
+		if marked {
+			if err := writeWAV(filepath.Join(out, spec.ID()+".marked.wav"), mk); err != nil {
+				return err
+			}
+		}
+		if recorded {
+			rec := channel.Transmit(mk)
+			if err := writeWAV(filepath.Join(out, spec.ID()+".recorded.wav"), rec.Normalize(0.7)); err != nil {
+				return err
+			}
+		}
+		_ = injections
+	}
+	if n == 0 {
+		return fmt.Errorf("no clip matched %q (IDs look like halo-infinite#1)", only)
+	}
+	fmt.Printf("wrote %d clips to %s\n", n, out)
+	return nil
+}
+
+func writeWAV(path string, b *audio.Buffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := audio.WriteWAV(f, b); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

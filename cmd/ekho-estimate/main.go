@@ -1,0 +1,116 @@
+// Command ekho-estimate runs Ekho-Estimator offline on a WAV recording:
+// it detects the PN markers and prints one ISD measurement per marker.
+// Pair it with ekho-corpus to build test material:
+//
+//	ekho-corpus -out /tmp/c -only halo-infinite#1 -marked -recorded
+//	ekho-estimate -in /tmp/c/halo-infinite#1.recorded.wav -seed 42
+//
+// The accessory-stream marker schedule defaults to "one marker per second
+// from t=0" (how AddMarkers lays them out); pass -schedule to load
+// explicit marker times (one float per line, seconds) instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ekho"
+	"ekho/internal/audio"
+)
+
+func main() {
+	in := flag.String("in", "", "input WAV recording (16-bit mono PCM)")
+	seed := flag.Int64("seed", 42, "PN sequence seed (must match the injector)")
+	schedule := flag.String("schedule", "", "optional file with marker times (seconds, one per line)")
+	interval := flag.Float64("interval", 1.0, "marker interval for the implicit schedule")
+	verbose := flag.Bool("v", false, "print detections before matching")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ekho-estimate: -in is required")
+		os.Exit(2)
+	}
+	if err := run(*in, *seed, *schedule, *interval, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "ekho-estimate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath string, seed int64, schedulePath string, interval float64, verbose bool) error {
+	f, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := audio.ReadWAV(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recording: %s\n", rec)
+
+	seq := ekho.NewMarkerSequence(seed)
+	dets := ekho.DetectMarkers(rec, seq)
+	if verbose {
+		for _, d := range dets {
+			fmt.Printf("detection at sample %d (t=%.3fs), strength %.1f sigma\n",
+				d.Sample, float64(d.Sample)/float64(rec.Rate), d.Strength)
+		}
+	}
+	if len(dets) == 0 {
+		return fmt.Errorf("no markers detected (wrong -seed, or markers below the noise floor)")
+	}
+
+	markerTimes, err := loadSchedule(schedulePath, rec.Duration(), interval)
+	if err != nil {
+		return err
+	}
+	ms := ekho.EstimateISD(rec, 0, markerTimes, seq)
+	if len(ms) == 0 {
+		return fmt.Errorf("detections found but none matched the schedule (|ISD| > 500 ms?)")
+	}
+	fmt.Printf("%-10s %-12s %-10s\n", "marker(s)", "ISD (ms)", "strength")
+	for _, m := range ms {
+		fmt.Printf("%-10.3f %+-12.3f %-10.0f\n", m.MarkerTime, m.ISDSeconds*1000, m.Strength)
+	}
+	return nil
+}
+
+// loadSchedule reads marker times from a file, or synthesizes the implicit
+// one-per-interval schedule.
+func loadSchedule(path string, duration, interval float64) ([]float64, error) {
+	if path == "" {
+		var out []float64
+		for t := 0.0; t < duration; t += interval {
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("schedule line %q: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("schedule %s is empty", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+// Command ekho-screen is the live screen-device demo: it receives the
+// screen stream from ekho-server, buffers it in a jitter buffer, and
+// "plays" it — on a machine without speakers, playback is emulated by
+// forwarding each played frame over UDP to the ekho-client's "air" port
+// after a configurable extra delay (standing in for a slow network path,
+// TV post-processing and sound propagation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ekho/internal/live"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9000", "ekho-server address")
+	air := flag.String("air", "127.0.0.1:9100", "ekho-client air (microphone) address")
+	extraDelay := flag.Duration("extra-delay", 150*time.Millisecond, "playback lag emulating TV pipeline")
+	jitterFrames := flag.Int("jitter-frames", 4, "jitter buffer threshold")
+	duration := flag.Duration("duration", 60*time.Second, "how long to run")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	_, err := live.RunScreen(live.ScreenConfig{
+		Server:       *server,
+		Air:          *air,
+		ExtraDelay:   *extraDelay,
+		JitterFrames: *jitterFrames,
+		Duration:     *duration,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ekho-screen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,49 @@
+// Command ekho-server is the live Ekho-Server demo: it streams a screen
+// stream (with embedded PN markers) and an accessory stream over real UDP
+// to an ekho-screen and an ekho-client process, receives timestamped chat
+// audio back, estimates the inter-stream delay and compensates it.
+//
+// Run the three demo processes on one machine:
+//
+//	ekho-server -listen 127.0.0.1:9000 -duration 30s
+//	ekho-client -server 127.0.0.1:9000 -air-listen 127.0.0.1:9100
+//	ekho-screen -server 127.0.0.1:9000 -air 127.0.0.1:9100 -extra-delay 180ms
+//
+// The screen's -extra-delay emulates a slow network + TV pipeline; watch
+// the server measure the startup gap (~240 ms), insert 12 frames, and hold
+// the streams within a frame thereafter — while the client stamps
+// everything with a deliberately offset clock, proving no clock
+// synchronization is needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ekho"
+	"ekho/internal/live"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9000", "UDP address to listen on")
+	duration := flag.Duration("duration", 30*time.Second, "how long to stream")
+	markerC := flag.Float64("c", ekho.DefaultMarkerVolume, "marker relative volume C")
+	clip := flag.Int("clip", 0, "corpus clip index (0-29)")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	_, err := live.RunServer(live.ServerConfig{
+		Listen:   *listen,
+		Duration: *duration,
+		MarkerC:  *markerC,
+		Clip:     *clip,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ekho-server:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package ekho_test
+
+import (
+	"fmt"
+	"math"
+
+	"ekho"
+	"ekho/internal/gamesynth"
+)
+
+// ExampleAddMarkers embeds inaudible PN markers into game audio and shows
+// the injection schedule the server logs for the estimator.
+func ExampleAddMarkers() {
+	game := gamesynth.Generate(gamesynth.Catalog()[0], 3)
+	seq := ekho.NewMarkerSequence(42)
+	marked, schedule := ekho.AddMarkers(game, seq, ekho.DefaultMarkerVolume)
+	fmt.Printf("audio length unchanged: %v\n", marked.Len() == game.Len())
+	for _, inj := range schedule {
+		fmt.Printf("marker at sample %d (frame %d)\n", inj.StartSample, inj.FrameID)
+	}
+	// Output:
+	// audio length unchanged: true
+	// marker at sample 0 (frame 0)
+	// marker at sample 48000 (frame 50)
+	// marker at sample 96000 (frame 100)
+}
+
+// ExampleEstimateISD measures a known delay between the marker schedule
+// and a recording to sub-millisecond accuracy.
+func ExampleEstimateISD() {
+	game := gamesynth.Generate(gamesynth.Catalog()[0], 4)
+	seq := ekho.NewMarkerSequence(42)
+	marked, schedule := ekho.AddMarkers(game, seq, ekho.DefaultMarkerVolume)
+
+	// The "recording": the marked audio delayed by exactly 100 ms, with
+	// capture continuing a moment after the clip ends.
+	const isd = 0.100
+	rec := ekho.NewBuffer(ekho.SampleRate, marked.Len()+ekho.SampleRate)
+	rec.MixInto(marked.Samples, int(isd*ekho.SampleRate), 1)
+
+	var markerTimes []float64
+	for _, inj := range schedule {
+		markerTimes = append(markerTimes, float64(inj.StartSample)/ekho.SampleRate)
+	}
+	ms := ekho.EstimateISD(rec, 0, markerTimes, seq)
+	allClose := len(ms) > 0
+	for _, m := range ms {
+		if math.Abs(m.ISDSeconds-isd) > 0.001 {
+			allClose = false
+		}
+	}
+	fmt.Printf("measurements: %d, all within 1 ms of 100 ms: %v\n", len(ms), allClose)
+	// Output:
+	// measurements: 4, all within 1 ms of 100 ms: true
+}
+
+// ExampleNewCompensator turns an ISD measurement into a corrective action.
+func ExampleNewCompensator() {
+	comp := ekho.NewCompensator(ekho.CompensatorConfig{})
+	// Screen lags by 60 ms: delay the accessory stream by 3 frames.
+	if act := comp.Offer(0, 0.060); act != nil {
+		fmt.Printf("%v stream: insert %d frames\n", act.Stream, act.InsertFrames)
+	}
+	// 4 ms is inside the hysteresis band: no action.
+	fmt.Printf("small ISD acted on: %v\n", comp.Offer(100, 0.004) != nil)
+	// Output:
+	// accessory stream: insert 3 frames
+	// small ISD acted on: false
+}

@@ -1,0 +1,75 @@
+// e2e-session: the full closed-loop system of the paper's §6.1 in virtual
+// time — a cloud game server streaming to a cellular-connected screen and
+// a WiFi-connected controller, with the headset microphone overhearing the
+// TV, the chat uplink feeding Ekho-Estimator, and Ekho-Compensator
+// re-aligning the streams. Prints the ISD timeline, every measurement and
+// every compensation action, then the Figure 8-style summary.
+//
+//	go run ./examples/e2e-session
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"ekho"
+)
+
+func main() {
+	sc := ekho.DefaultSessionScenario()
+	sc.DurationSec = 90
+	// Scripted single-frame loss mid-session (the Figure 9 dynamic).
+	sc.ControllerJitterFrames = 3
+	sc.ScriptedLosses = []ekho.ScriptedLoss{{AtSec: 50, Stream: ekho.SessionAccessory, Frames: 1}}
+
+	fmt.Println("running 90 s end-to-end session (virtual time)...")
+	res := ekho.RunSession(sc)
+
+	fmt.Println("\ncompensation actions:")
+	for _, a := range res.Actions {
+		fmt.Printf("  t=%5.1fs  %v stream: insert %d frames %d samples, skip %d frames\n",
+			a.TimeSec, a.Action.Stream, a.Action.InsertFrames, a.Action.InsertSamples, a.Action.SkipFrames)
+	}
+
+	fmt.Println("\nISD timeline (1 s resolution):")
+	next := 0.0
+	for _, p := range res.Trace {
+		if p.TimeSec >= next {
+			bar := isdBar(p.ISDSeconds)
+			fmt.Printf("  t=%5.1fs  ISD %+7.1f ms  %s\n", p.TimeSec, p.ISDSeconds*1000, bar)
+			next = p.TimeSec + 1
+		}
+	}
+
+	in10 := 0
+	total := 0
+	for _, p := range res.Trace {
+		if p.TimeSec < sc.WarmupIgnoreSec {
+			continue
+		}
+		total++
+		if math.Abs(p.ISDSeconds) <= ekho.HumanEchoThresholdSec {
+			in10++
+		}
+	}
+	fmt.Printf("\nsummary: %d measurements, %d actions, |ISD| <= 10 ms for %.1f%% of the session\n",
+		len(res.Measurements), len(res.Actions), 100*float64(in10)/float64(total))
+	fmt.Printf("packet loss: screen %d/%d, accessory %d/%d\n",
+		res.ScreenLoss.Lost, res.ScreenLoss.Sent, res.AccessLoss.Lost, res.AccessLoss.Sent)
+}
+
+// isdBar renders a tiny ASCII gauge of the ISD magnitude.
+func isdBar(isd float64) string {
+	n := int(math.Abs(isd) * 1000 / 10) // one block per 10 ms
+	if n > 40 {
+		n = 40
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	if isd < 0 {
+		return "-" + string(out)
+	}
+	return string(out)
+}

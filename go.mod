@@ -1,0 +1,3 @@
+module ekho
+
+go 1.22

@@ -1,0 +1,242 @@
+// Package acoustic simulates the physical path between the screen device's
+// speakers and the player's headset microphone: speaker coloration, room
+// reverberation, sound propagation delay, microphone frequency response and
+// ambient noise. This is the channel over which Ekho "overhears" the screen
+// audio (paper §4.1), and the place where the Figure 14/17 microphone
+// ablations and the Figure 13 sound-level study live.
+//
+// The paper measured three physical microphones (a studio microphone, an
+// Xbox Stereo Headset and a Samsung IG955 earphone, Figure 17). We model
+// each as a cascade of peaking/shelving sections fitted to the published
+// response shapes: the studio mic nearly flat, the Xbox headset with
+// several-dB peaks and troughs, the Samsung earphone with a >30 dB swing.
+package acoustic
+
+import (
+	"math"
+	"math/rand"
+
+	"ekho/internal/audio"
+	"ekho/internal/dsp"
+)
+
+// SpeedOfSoundFtPerSec is the propagation speed used for distance delays
+// (the paper rounds to 1 ms/foot).
+const SpeedOfSoundFtPerSec = 1000.0
+
+// Microphone identifies one of the modelled capture devices.
+type Microphone int
+
+// The three microphones of Appendix B / Figure 16.
+const (
+	StudioMic    Microphone = iota // ~flat response
+	XboxHeadset                    // typical gaming headset, peaks and troughs
+	SamsungIG955                   // low-quality earphone, >30 dB swing
+)
+
+// String implements fmt.Stringer.
+func (m Microphone) String() string {
+	switch m {
+	case StudioMic:
+		return "Studio Microphone"
+	case XboxHeadset:
+		return "Xbox Stereo Headset"
+	case SamsungIG955:
+		return "Samsung IG955 Earphone"
+	default:
+		return "Unknown Microphone"
+	}
+}
+
+// response returns the biquad cascade modelling the microphone's frequency
+// response (Figure 17 shapes).
+func (m Microphone) response(rate float64) dsp.Chain {
+	switch m {
+	case XboxHeadset:
+		return dsp.Chain{
+			dsp.NewHighPassBiquad(70, rate, 0.707),
+			dsp.NewPeakingBiquad(250, rate, 1.2, 4),
+			dsp.NewPeakingBiquad(1200, rate, 1.5, -5),
+			dsp.NewPeakingBiquad(3500, rate, 2.0, 6),
+			dsp.NewPeakingBiquad(7000, rate, 2.0, -7),
+			dsp.NewPeakingBiquad(10500, rate, 2.5, 5),
+			dsp.NewLowPassBiquad(15000, rate, 0.707),
+		}
+	case SamsungIG955:
+		return dsp.Chain{
+			dsp.NewHighPassBiquad(150, rate, 0.707),
+			dsp.NewPeakingBiquad(400, rate, 1.2, 12),
+			dsp.NewPeakingBiquad(1500, rate, 1.8, -16),
+			dsp.NewPeakingBiquad(3000, rate, 2.0, 13),
+			dsp.NewPeakingBiquad(5200, rate, 3.0, -16),
+			dsp.NewPeakingBiquad(5800, rate, 3.0, -16),
+			dsp.NewPeakingBiquad(9000, rate, 2.5, 11),
+			dsp.NewPeakingBiquad(12000, rate, 3.0, -18),
+			dsp.NewLowPassBiquad(13000, rate, 0.9),
+		}
+	default: // StudioMic: gentle band edges only
+		return dsp.Chain{
+			dsp.NewHighPassBiquad(40, rate, 0.707),
+			dsp.NewLowPassBiquad(20000, rate, 0.707),
+		}
+	}
+}
+
+// MicChain returns a fresh stateful biquad cascade implementing the
+// microphone's frequency response, for callers that filter streams
+// incrementally (the live session loop) rather than whole buffers.
+func MicChain(m Microphone, rate float64) dsp.Chain { return m.response(rate) }
+
+// ResponseDB measures the microphone model's magnitude response at freq Hz
+// by probing the cascade with a sinusoid (used to regenerate Figure 17).
+func (m Microphone) ResponseDB(freq float64) float64 {
+	const rate = audio.SampleRate
+	chain := m.response(rate)
+	n := 9600
+	probe := make([]float64, n)
+	for i := range probe {
+		probe[i] = math.Sin(2 * math.Pi * freq * float64(i) / rate)
+	}
+	out := chain.Apply(probe)
+	in := dsp.RMS(probe[n/2:])
+	o := dsp.RMS(out[n/2:])
+	if o <= 0 || in <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(o/in)
+}
+
+// Room describes the reverberant environment between speaker and mic.
+type Room struct {
+	// RT60 is the reverberation time in seconds (time for reflections to
+	// decay by 60 dB). Living rooms are typically 0.3-0.6 s.
+	RT60 float64
+	// Reflections is the number of discrete echo taps to synthesize.
+	Reflections int
+	// Seed makes the tap pattern deterministic.
+	Seed int64
+}
+
+// DefaultRoom is a typical living-room configuration.
+func DefaultRoom() Room { return Room{RT60: 0.4, Reflections: 40, Seed: 7} }
+
+// impulse builds the room's sparse impulse response (direct path excluded).
+func (r Room) impulse(rate int) []float64 {
+	if r.RT60 <= 0 || r.Reflections <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	n := int(r.RT60 * float64(rate))
+	h := make([]float64, n)
+	// -60 dB at RT60: amplitude decay constant.
+	decay := math.Log(1000) / float64(n)
+	for i := 0; i < r.Reflections; i++ {
+		// Early reflections cluster sooner; use a squared uniform draw.
+		u := rng.Float64()
+		pos := int(u * u * float64(n-1))
+		amp := 0.4 * math.Exp(-decay*float64(pos))
+		if rng.Intn(2) == 0 {
+			amp = -amp
+		}
+		h[pos] += amp
+	}
+	return h
+}
+
+// Channel is the full speaker→air→microphone path.
+type Channel struct {
+	// Mic selects the capture device model.
+	Mic Microphone
+	// DistanceFt is the player's distance from the screen in feet
+	// (1 ms/ft propagation delay; §3.2 allows 2-19 ft).
+	DistanceFt float64
+	// Attenuation is the linear gain of the overheard path. The paper
+	// notes the overheard audio is "an order of magnitude fainter" than
+	// direct speech into the mic; 0.1 is the default.
+	Attenuation float64
+	// Room adds reverberation.
+	Room Room
+	// AmbientLevel is the RMS of added white ambient noise (0 disables).
+	AmbientLevel float64
+	// NoiseSeed makes the ambient noise deterministic.
+	NoiseSeed int64
+	// ExtraDelaySec adds arbitrary extra delay (device playback lag used
+	// by experiment setups); may be fractional samples.
+	ExtraDelaySec float64
+}
+
+// DefaultChannel is the standard evaluation setup: Xbox headset, 6 ft from
+// the screen, 10x attenuation, a typical room and a quiet noise floor.
+func DefaultChannel() Channel {
+	return Channel{
+		Mic:          XboxHeadset,
+		DistanceFt:   6,
+		Attenuation:  0.1,
+		Room:         DefaultRoom(),
+		AmbientLevel: 0.001,
+		NoiseSeed:    11,
+	}
+}
+
+// TotalDelaySec returns the deterministic delay the channel imposes
+// (propagation plus any configured extra delay).
+func (c Channel) TotalDelaySec() float64 {
+	return c.DistanceFt/SpeedOfSoundFtPerSec + c.ExtraDelaySec
+}
+
+// Transmit plays the buffer through the channel and returns what the
+// microphone captures: delayed, attenuated, reverberated, colored by the
+// mic response and overlaid with ambient noise. The output has the same
+// length as the input (content shifted later by the propagation delay).
+func (c Channel) Transmit(b *audio.Buffer) *audio.Buffer {
+	rate := b.Rate
+	samples := append([]float64(nil), b.Samples...)
+
+	// Room reverberation (applied at the source side).
+	if h := c.Room.impulse(rate); len(h) > 0 {
+		wet := dsp.NewFIR(h).ApplyFull(samples)
+		for i := range samples {
+			samples[i] += wet[i]
+		}
+	}
+
+	// Propagation and configured delay (fractional samples supported).
+	delay := c.TotalDelaySec() * float64(rate)
+	if delay > 0 {
+		samples = dsp.FractionalDelay(samples, delay)
+	}
+
+	// Attenuation of the overheard path.
+	att := c.Attenuation
+	if att == 0 {
+		att = 1
+	}
+	for i := range samples {
+		samples[i] *= att
+	}
+
+	// Microphone coloration.
+	samples = c.Mic.response(float64(rate)).Apply(samples)
+
+	// Ambient noise floor.
+	if c.AmbientLevel > 0 {
+		rng := rand.New(rand.NewSource(c.NoiseSeed))
+		for i := range samples {
+			samples[i] += rng.NormFloat64() * c.AmbientLevel
+		}
+	}
+	return audio.FromSamples(rate, samples)
+}
+
+// TransmitMixed transmits screen audio through the channel and mixes in a
+// near-field source (the player's own voice / chatter) that does NOT pass
+// through the room or attenuation — it is spoken directly into the mic.
+func (c Channel) TransmitMixed(screen, nearField *audio.Buffer, nearGain float64) *audio.Buffer {
+	out := c.Transmit(screen)
+	if nearField != nil {
+		// The near-field source is still colored by the microphone.
+		near := c.Mic.response(float64(out.Rate)).Apply(nearField.Samples)
+		out.MixInto(near, 0, nearGain)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package audio
+
+import "math"
+
+// Chirp generates a linear frequency sweep from f0 to f1 Hz lasting the
+// given number of seconds, with a short raised-cosine fade at both ends to
+// avoid clicks. The end-to-end ground-truth methodology (paper §6.1) plays
+// a 2→5 kHz chirp on the screen and a 5→2 kHz chirp on the controller and
+// aligns both against a third recording; §6.3 uses a 0→20 kHz chirp as a
+// start-of-clip marker.
+func Chirp(rate int, f0, f1, seconds, amplitude float64) *Buffer {
+	n := int(math.Round(seconds * float64(rate)))
+	b := NewBuffer(rate, n)
+	if n == 0 {
+		return b
+	}
+	k := (f1 - f0) / seconds // sweep rate Hz/s
+	fade := rate / 100       // 10 ms fades
+	if fade*2 > n {
+		fade = n / 4
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(rate)
+		phase := 2 * math.Pi * (f0*t + 0.5*k*t*t)
+		v := amplitude * math.Sin(phase)
+		switch {
+		case i < fade && fade > 0:
+			v *= 0.5 - 0.5*math.Cos(math.Pi*float64(i)/float64(fade))
+		case i >= n-fade && fade > 0:
+			v *= 0.5 - 0.5*math.Cos(math.Pi*float64(n-1-i)/float64(fade))
+		}
+		b.Samples[i] = v
+	}
+	return b
+}
+
+// Tone generates a pure sinusoid.
+func Tone(rate int, freq, seconds, amplitude float64) *Buffer {
+	n := int(math.Round(seconds * float64(rate)))
+	b := NewBuffer(rate, n)
+	for i := 0; i < n; i++ {
+		b.Samples[i] = amplitude * math.Sin(2*math.Pi*freq*float64(i)/float64(rate))
+	}
+	return b
+}

@@ -1,0 +1,110 @@
+package audio
+
+import (
+	"math"
+
+	"ekho/internal/dsp"
+)
+
+// A-weighting and sound-pressure-level utilities. The paper reports chatter
+// and marker loudness in dBA (ISO 226-style A-weighting, §6.3-§6.5); the
+// simulator needs the same meter to calibrate "Low/Med/Loud Chat" and the
+// Figure 13 marker sound levels.
+
+// AWeight returns the A-weighting magnitude gain (linear, not dB) at the
+// given frequency in Hz, per the IEC 61672 analog prototype.
+func AWeight(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	f2 := f * f
+	num := 12194.0 * 12194.0 * f2 * f2
+	den := (f2 + 20.6*20.6) *
+		math.Sqrt((f2+107.7*107.7)*(f2+737.9*737.9)) *
+		(f2 + 12194.0*12194.0)
+	ra := num / den
+	// Normalize to 0 dB at 1 kHz (the +2.0 dB constant in the standard).
+	return ra * math.Pow(10, 2.0/20)
+}
+
+// AWeightedPower returns the A-weighted mean power of the signal, computed
+// in the frequency domain.
+func AWeightedPower(b *Buffer) float64 {
+	n := len(b.Samples)
+	if n == 0 {
+		return 0
+	}
+	spec := dsp.FFTReal(b.Samples)
+	m := len(spec)
+	half := m / 2
+	binHz := float64(b.Rate) / float64(m)
+	var sum float64
+	for i := 1; i <= half; i++ {
+		w := AWeight(float64(i) * binHz)
+		re, im := real(spec[i]), imag(spec[i])
+		sum += w * w * (re*re + im*im)
+	}
+	return 2 * sum / (float64(m) * float64(n))
+}
+
+// calibrationOffset maps digital full scale to an assumed acoustic level.
+// It is chosen so the corpus clips play at a median of ~60-70 dBA, the
+// "typical volume in gaming sessions" the paper configures (§6.3); a
+// full-scale sine then reads ~75 dB SPL.
+const calibrationOffset = 78.0
+
+// DBA returns the calibrated A-weighted sound level of the buffer in dBA.
+// Silence maps to -inf.
+func DBA(b *Buffer) float64 {
+	p := AWeightedPower(b)
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(p) + calibrationOffset
+}
+
+// MedianFrameDBA measures dBA per 100 ms window and returns the median —
+// the statistic the paper uses to calibrate chatter loudness ("the median
+// sound level of the speech clip is 5 dBA lower than the game audio").
+func MedianFrameDBA(b *Buffer) float64 {
+	win := b.Rate / 10
+	if win == 0 || b.Len() == 0 {
+		return math.Inf(-1)
+	}
+	var levels []float64
+	for start := 0; start+win <= b.Len(); start += win {
+		l := DBA(b.Slice(start, start+win))
+		if !math.IsInf(l, -1) {
+			levels = append(levels, l)
+		}
+	}
+	if len(levels) == 0 {
+		return math.Inf(-1)
+	}
+	return median(levels)
+}
+
+func median(x []float64) float64 {
+	s := append([]float64(nil), x...)
+	// insertion sort; level arrays are small
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// GainForDBA returns the linear gain to apply to b so that its median frame
+// level becomes target dBA. Returns 1 for silent buffers.
+func GainForDBA(b *Buffer, target float64) float64 {
+	cur := MedianFrameDBA(b)
+	if math.IsInf(cur, -1) {
+		return 1
+	}
+	return math.Pow(10, (target-cur)/20)
+}

@@ -1,0 +1,103 @@
+package audio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuffer(SampleRate, 4800)
+	for i := range b.Samples {
+		b.Samples[i] = rng.Float64()*1.8 - 0.9
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rate != SampleRate || back.Len() != b.Len() {
+		t.Fatalf("rate %d len %d", back.Rate, back.Len())
+	}
+	for i := range b.Samples {
+		if math.Abs(back.Samples[i]-b.Samples[i]) > 1.0/32768+1e-9 {
+			t.Fatalf("sample %d: %g vs %g", i, back.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+func TestWAVRoundTripProperty(t *testing.T) {
+	f := func(seed int64, lenSel uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(lenSel) % 2000
+		b := NewBuffer(SampleRate, n)
+		for i := range b.Samples {
+			b.Samples[i] = r.Float64()*2 - 1
+		}
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, b); err != nil {
+			return false
+		}
+		back, err := ReadWAV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != n {
+			return false
+		}
+		for i := range b.Samples {
+			if math.Abs(back.Samples[i]-b.Samples[i]) > 1.0/32768+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWAVRejectsGarbage(t *testing.T) {
+	if _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all....."))); err == nil {
+		t.Fatal("expected error")
+	}
+	// Correct RIFF magic but stereo content must be rejected.
+	var buf bytes.Buffer
+	b := NewBuffer(SampleRate, 10)
+	if err := WriteWAV(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[22] = 2 // channels = 2
+	_, err := ReadWAV(bytes.NewReader(raw))
+	if err == nil || !errors.Is(err, ErrBadWAV) {
+		t.Fatalf("want ErrBadWAV, got %v", err)
+	}
+}
+
+func TestInt16Conversions(t *testing.T) {
+	if FloatToInt16(2.0) != 32767 {
+		t.Fatal("positive clamp")
+	}
+	if FloatToInt16(-2.0) != -32768 {
+		t.Fatal("negative clamp")
+	}
+	if FloatToInt16(0) != 0 {
+		t.Fatal("zero")
+	}
+	b := FromInt16(SampleRate, []int16{0, 16384, -32768})
+	if b.Samples[0] != 0 || math.Abs(b.Samples[1]-0.5) > 1e-9 || b.Samples[2] != -1 {
+		t.Fatalf("FromInt16: %v", b.Samples)
+	}
+	round := b.ToInt16()
+	if round[1] != 16384 || round[2] != -32768 {
+		t.Fatalf("ToInt16: %v", round)
+	}
+}

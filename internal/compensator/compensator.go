@@ -1,0 +1,320 @@
+// Package compensator implements Ekho-Compensator (paper §4.4 and §5.1):
+// the server-side feedback loop that consumes ISD measurements from
+// Ekho-Estimator and re-aligns the screen and accessory streams by
+// inserting silence frames into the leading stream or skipping frames of
+// the lagging one.
+//
+// Stability rules from §5.1:
+//   - a correction is only initiated when |ISD| exceeds a minimum
+//     threshold (5 ms suggested), since small wander is normal;
+//   - once a correction starts, several seconds pass before it reflects in
+//     measurements, so new ISD measurements are ignored during a settling
+//     window;
+//   - corrections are quantized to whole 20 ms frames in the baseline
+//     implementation (matching §6.1: "we can have errors up to 10 ms"),
+//     with an optional sub-frame mode that trims fractions of a frame.
+package compensator
+
+import (
+	"math"
+
+	"ekho/internal/audio"
+)
+
+// Stream identifies which stream a compensation action applies to.
+type Stream int
+
+// The two downlink streams.
+const (
+	ScreenStream Stream = iota
+	AccessoryStream
+)
+
+// String implements fmt.Stringer.
+func (s Stream) String() string {
+	if s == ScreenStream {
+		return "screen"
+	}
+	return "accessory"
+}
+
+// Action is a compensation command for the stream schedulers.
+type Action struct {
+	// Stream is the stream to modify.
+	Stream Stream
+	// InsertFrames > 0 inserts that many silence frames (delaying the
+	// stream); SkipFrames > 0 drops that many frames (advancing it).
+	InsertFrames int
+	SkipFrames   int
+	// InsertSamples/SkipSamples carry the sub-frame remainder when
+	// sub-frame mode is enabled.
+	InsertSamples int
+	SkipSamples   int
+}
+
+// TotalDelaySeconds returns the signed latency change the action applies to
+// its stream (positive = stream delayed).
+func (a Action) TotalDelaySeconds() float64 {
+	ins := float64(a.InsertFrames*audio.FrameSamples + a.InsertSamples)
+	skp := float64(a.SkipFrames*audio.FrameSamples + a.SkipSamples)
+	return (ins - skp) / audio.SampleRate
+}
+
+// Config tunes the compensation loop.
+type Config struct {
+	// MinCorrectionSec is the hysteresis threshold (default 5 ms).
+	MinCorrectionSec float64
+	// SettleSec is how long new measurements are ignored after a
+	// correction is issued (default 6 s: the estimator's sliding window
+	// plus uplink delay; the paper observes a 4-6 s response time).
+	SettleSec float64
+	// SubFrame enables fractional-frame corrections ("a more involved
+	// implementation could add or skip fractions of frames, and
+	// synchronize below the 10 ms bound", §6.1).
+	SubFrame bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCorrectionSec == 0 {
+		c.MinCorrectionSec = 0.005
+	}
+	if c.SettleSec == 0 {
+		c.SettleSec = 6
+	}
+	return c
+}
+
+// Compensator turns ISD measurements into frame insert/skip actions.
+type Compensator struct {
+	cfg Config
+	// settleUntil is the local time before which measurements are ignored.
+	settleUntil float64
+	// appliedScreenDelay tracks cumulative extra delay added to the screen
+	// stream (negative = screen advanced), for introspection/tests.
+	appliedScreenDelay float64
+	actions            int
+	ignored            int
+}
+
+// New returns a compensator with the given configuration.
+func New(cfg Config) *Compensator {
+	return &Compensator{cfg: cfg.withDefaults(), settleUntil: math.Inf(-1)}
+}
+
+// Offer presents one ISD measurement taken at local time now (seconds).
+// If a correction is warranted, the action to apply is returned; otherwise
+// nil. Sign convention: positive ISD means the screen audio is heard
+// *after* the accessory audio (screen lags), so the accessory stream is
+// delayed by inserting silence; negative ISD delays the screen stream.
+func (c *Compensator) Offer(now, isdSeconds float64) *Action {
+	if now < c.settleUntil {
+		c.ignored++
+		return nil
+	}
+	if math.Abs(isdSeconds) < c.cfg.MinCorrectionSec {
+		return nil
+	}
+	act := c.quantize(isdSeconds)
+	if act == nil {
+		return nil
+	}
+	c.actions++
+	c.settleUntil = now + c.cfg.SettleSec
+	c.appliedScreenDelay += screenDelayOf(*act)
+	return act
+}
+
+// quantize converts an ISD into a frame-granular action.
+func (c *Compensator) quantize(isd float64) *Action {
+	mag := math.Abs(isd)
+	frames := int(mag*audio.SampleRate) / audio.FrameSamples
+	rem := int(math.Round(mag*audio.SampleRate)) - frames*audio.FrameSamples
+	if !c.cfg.SubFrame {
+		// Round to the nearest whole frame.
+		if rem >= audio.FrameSamples/2 {
+			frames++
+		}
+		rem = 0
+		if frames == 0 {
+			return nil
+		}
+	}
+	a := &Action{}
+	if isd > 0 {
+		// Screen lags: delay the accessory stream.
+		a.Stream = AccessoryStream
+		a.InsertFrames = frames
+		a.InsertSamples = rem
+	} else {
+		// Screen leads (rare, §5.1): delay the screen stream.
+		a.Stream = ScreenStream
+		a.InsertFrames = frames
+		a.InsertSamples = rem
+	}
+	return a
+}
+
+func screenDelayOf(a Action) float64 {
+	d := a.TotalDelaySeconds()
+	if a.Stream == ScreenStream {
+		return d
+	}
+	return -d
+}
+
+// Settling reports whether the compensator is inside its settling window.
+func (c *Compensator) Settling(now float64) bool { return now < c.settleUntil }
+
+// AppliedScreenDelay returns the cumulative delay added to the screen
+// stream relative to the accessory stream (negative values mean the
+// accessory stream has been delayed more).
+func (c *Compensator) AppliedScreenDelay() float64 { return c.appliedScreenDelay }
+
+// Stats reports loop counters.
+type Stats struct {
+	Actions, IgnoredMeasurements int
+}
+
+// Stats returns cumulative counters.
+func (c *Compensator) Stats() Stats {
+	return Stats{Actions: c.actions, IgnoredMeasurements: c.ignored}
+}
+
+// FrameEditor applies actions to a live frame stream. Each downlink stream
+// owns one editor; the session scheduler calls NextFrame with the next
+// game-audio frame and receives the frame to actually transmit (possibly a
+// silence frame, with the input deferred, or a skip).
+type FrameEditor struct {
+	pendingInsert int // silence frames still to emit
+	pendingSkip   int // input frames still to drop
+	pendingTrim   int // samples to trim from queued audio (sub-frame skip)
+	queue         [][]float64
+	insertMode    InsertMode    // silence (default) or interpolated
+	interp        *Interpolator // PLC-style gap synthesis state
+	blendNext     bool          // cross-fade the next content frame after a gap
+}
+
+// Apply registers an action with the editor (insert and skip may both be
+// present for sub-frame corrections; sub-frame remainders are rounded into
+// the sample-level trim below).
+func (e *FrameEditor) Apply(a Action) {
+	e.pendingInsert += a.InsertFrames
+	e.pendingSkip += a.SkipFrames
+	// Sub-frame remainders are applied as partial silence prepend/trim on
+	// the next frame.
+	if a.InsertSamples > 0 {
+		e.queue = append(e.queue, make([]float64, a.InsertSamples))
+	}
+	if a.SkipSamples > 0 {
+		e.pendingTrim += a.SkipSamples
+	}
+}
+
+// NextFrame feeds one 20 ms input frame through the editor and returns the
+// frame to transmit. The returned slice is always FrameSamples long.
+//
+// Skips preferentially drain previously inserted delay (queued samples) so
+// that reverting an earlier correction is artifact-free; if no delay is
+// queued, the input frame's content is dropped and a silence frame fills
+// the tick — the audible equivalent of the paper's "skipping frames (or
+// temporarily faster playback) at the streaming device".
+func (e *FrameEditor) NextFrame(in []float64) []float64 {
+	for e.pendingSkip > 0 {
+		e.pendingSkip--
+		if e.Buffered() >= audio.FrameSamples {
+			e.pendingTrim += audio.FrameSamples
+			continue
+		}
+		// Nothing queued: drop this input's content.
+		return make([]float64, audio.FrameSamples)
+	}
+	if e.pendingInsert > 0 {
+		e.pendingInsert--
+		e.stash(in)
+		if e.insertMode == InsertInterpolated {
+			e.blendNext = true
+		}
+		return e.gapFrame()
+	}
+	out := e.dequeue(in)
+	if e.interp != nil {
+		if e.blendNext {
+			// Copy-on-write: out may alias the caller's frame.
+			blended := make([]float64, len(out))
+			copy(blended, out)
+			e.interp.BlendIn(blended)
+			out = blended
+			e.blendNext = false
+		}
+		// History tracks the TRANSMITTED stream (what the listener
+		// hears), so a later gap continues seamlessly from it.
+		e.interp.Observe(out)
+	}
+	return out
+}
+
+// gapFrame produces one frame of inserted delay: silence in the baseline
+// mode, or PLC-style synthesized audio in interpolated mode (§4.4's
+// future-work enhancement).
+func (e *FrameEditor) gapFrame() []float64 {
+	if e.insertMode == InsertInterpolated && e.interp != nil {
+		return e.interp.Synthesize(audio.FrameSamples)
+	}
+	return make([]float64, audio.FrameSamples)
+}
+
+// stash queues an input frame displaced by an inserted silence frame.
+func (e *FrameEditor) stash(in []float64) {
+	cp := make([]float64, len(in))
+	copy(cp, in)
+	e.queue = append(e.queue, cp)
+}
+
+// dequeue returns queued samples ahead of the current input, maintaining
+// FIFO order and frame alignment.
+func (e *FrameEditor) dequeue(in []float64) []float64 {
+	if len(e.queue) == 0 && e.pendingTrim == 0 {
+		return in
+	}
+	// Append the new input to the queue and emit exactly one frame from
+	// the front, applying any pending sample trim.
+	e.stash(in)
+	out := make([]float64, 0, audio.FrameSamples)
+	for len(out) < audio.FrameSamples {
+		if len(e.queue) == 0 {
+			out = append(out, make([]float64, audio.FrameSamples-len(out))...)
+			break
+		}
+		head := e.queue[0]
+		if e.pendingTrim > 0 {
+			n := e.pendingTrim
+			if n > len(head) {
+				n = len(head)
+			}
+			head = head[n:]
+			e.pendingTrim -= n
+			if len(head) == 0 {
+				e.queue = e.queue[1:]
+				continue
+			}
+		}
+		need := audio.FrameSamples - len(out)
+		if len(head) <= need {
+			out = append(out, head...)
+			e.queue = e.queue[1:]
+		} else {
+			out = append(out, head[:need]...)
+			e.queue[0] = head[need:]
+		}
+	}
+	return out
+}
+
+// Buffered returns the number of samples currently queued in the editor.
+func (e *FrameEditor) Buffered() int {
+	n := 0
+	for _, q := range e.queue {
+		n += len(q)
+	}
+	return n
+}

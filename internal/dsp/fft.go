@@ -1,0 +1,211 @@
+// Package dsp provides the digital signal processing primitives that Ekho
+// is built on: fast Fourier transforms, FIR filter design and application,
+// cross-correlation, window functions and resampling.
+//
+// The paper's reference implementation uses FFTW; this package is a
+// self-contained, allocation-conscious replacement built only on the Go
+// standard library. Transform sizes that are powers of two use an iterative
+// radix-2 Cooley-Tukey FFT; all other sizes are handled with Bluestein's
+// chirp-z algorithm, so every length is supported.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place discrete Fourier transform of x when len(x) is a
+// power of two, and an out-of-place Bluestein transform otherwise. The
+// returned slice aliases x in the power-of-two case.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return x
+	}
+	if isPow2(n) {
+		fftPow2(x, false)
+		return x
+	}
+	return bluestein(x, false)
+}
+
+// IFFT computes the inverse discrete Fourier transform with 1/N scaling.
+// As with FFT, power-of-two inputs are transformed in place.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return x
+	}
+	var out []complex128
+	if isPow2(n) {
+		fftPow2(x, true)
+		out = x
+	} else {
+		out = bluestein(x, true)
+	}
+	scale := 1 / float64(n)
+	for i := range out {
+		out[i] = complex(real(out[i])*scale, imag(out[i])*scale)
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal, returning the full complex
+// spectrum of length NextPow2(len(x)) (zero padded). It is a convenience
+// wrapper used by the correlation and codec code paths.
+func FFTReal(x []float64) []complex128 {
+	n := NextPow2(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftPow2(buf, false)
+	return buf
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// fftPow2 is an iterative radix-2 decimation-in-time FFT. inverse selects
+// the conjugate transform (without scaling).
+func fftPow2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		// Precompute the principal root increment and iterate by
+		// multiplication; accurate enough for audio-band work and
+		// much cheaper than per-butterfly sincos.
+		wStep := complex(math.Cos(step), math.Sin(step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes a DFT of arbitrary length via the chirp-z transform,
+// using three power-of-two FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	m := NextPow2(2*n - 1)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// chirp[k] = exp(sign*i*pi*k^2/n)
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for very large n; use modular phase.
+		phase := sign * math.Pi * float64(k) * float64(k) / float64(n)
+		chirp[k] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		c := complex(real(chirp[k]), -imag(chirp[k])) // conj
+		b[k] = c
+		if k > 0 {
+			b[m-k] = c
+		}
+	}
+	fftPow2(a, false)
+	fftPow2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftPow2(a, true)
+	out := make([]complex128, n)
+	scale := 1 / float64(m)
+	for k := 0; k < n; k++ {
+		v := a[k] * complex(scale, 0)
+		out[k] = v * chirp[k]
+	}
+	return out
+}
+
+// Spectrum returns the one-sided magnitude spectrum of a real signal along
+// with the frequency (Hz) of each bin, given the sample rate. The signal is
+// zero-padded to the next power of two.
+func Spectrum(x []float64, sampleRate float64) (mags, freqs []float64) {
+	spec := FFTReal(x)
+	n := len(spec)
+	half := n/2 + 1
+	mags = make([]float64, half)
+	freqs = make([]float64, half)
+	for i := 0; i < half; i++ {
+		mags[i] = cmplxAbs(spec[i]) / float64(n)
+		freqs[i] = float64(i) * sampleRate / float64(n)
+	}
+	return mags, freqs
+}
+
+// BandPower returns the mean power of x within [lo, hi) Hz, computed in the
+// frequency domain. It is used by the marker amplitude tracker (Eq. 2) to
+// measure game-audio energy in the 6-12 kHz marker band.
+func BandPower(x []float64, sampleRate, lo, hi float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	spec := FFTReal(x)
+	n := len(spec)
+	binHz := sampleRate / float64(n)
+	loBin := int(math.Ceil(lo / binHz))
+	hiBin := int(math.Floor(hi / binHz))
+	if hiBin > n/2 {
+		hiBin = n / 2
+	}
+	if loBin < 0 {
+		loBin = 0
+	}
+	if loBin >= hiBin {
+		return 0
+	}
+	var sum float64
+	for i := loBin; i < hiBin; i++ {
+		re, im := real(spec[i]), imag(spec[i])
+		sum += re*re + im*im
+	}
+	// Parseval with one-sided doubling, normalized per input sample.
+	return 2 * sum / (float64(n) * float64(len(x)))
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// CheckLen panics with a descriptive message if got != want; used by
+// internal kernels whose contracts require equal-length slices.
+func CheckLen(name string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("dsp: %s length %d, want %d", name, got, want))
+	}
+}

@@ -1,0 +1,48 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the power of a single frequency component of x using the
+// Goertzel algorithm — cheaper than a full FFT when only a handful of bins
+// are needed (e.g. chirp progress tracking in the ground-truth pipeline).
+func Goertzel(x []float64, freq, sampleRate float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	k := freq / sampleRate
+	w := 2 * math.Pi * k
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / float64(n)
+}
+
+// RMS returns the root-mean-square level of x (0 for empty input).
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}
+
+// MeanPower returns the mean of x squared.
+func MeanPower(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return sum / float64(len(x))
+}

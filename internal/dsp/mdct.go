@@ -1,0 +1,93 @@
+package dsp
+
+import "math"
+
+// Modified Discrete Cosine Transform with time-domain alias cancellation
+// (TDAC) — the transform real audio codecs (CELT inside OPUS, AAC) build
+// on. The codec package uses it with the Princen-Bradley sqrt-Hann window:
+// windowed MDCT → quantize → windowed IMDCT → 50% overlap-add reconstructs
+// the signal exactly (up to quantization).
+//
+//	X[k] = Σ_{n=0}^{2N-1} x[n] · cos(π/N · (n + ½ + N/2) · (k + ½))
+//
+// The implementation folds the 2N-point input into an N-point DCT-IV and
+// evaluates the DCT-IV with one zero-padded FFT, so a 960-bin MDCT costs a
+// single 4096-point transform.
+
+// MDCT computes the N-point forward transform of a 2N-sample block.
+func MDCT(x []float64) []float64 {
+	n2 := len(x)
+	if n2%2 != 0 {
+		panic("dsp: MDCT input length must be even")
+	}
+	n := n2 / 2
+	u := foldMDCT(x, n)
+	return dctIV(u)
+}
+
+// IMDCT computes the 2N-sample inverse (with time-domain aliasing) of an
+// N-bin spectrum. Overlap-adding two consecutive windowed IMDCT outputs
+// cancels the aliasing exactly when the window satisfies Princen-Bradley
+// (w[n]² + w[n+N]² = 1).
+func IMDCT(spec []float64) []float64 {
+	n := len(spec)
+	d := dctIV(spec)
+	out := make([]float64, 2*n)
+	scale := 2.0 / float64(n)
+	for i := 0; i < 2*n; i++ {
+		m := i + n/2
+		var v float64
+		switch {
+		case m < n:
+			v = d[m]
+		case m < 2*n:
+			v = -d[2*n-1-m]
+		default: // m < 2n + n/2
+			v = -d[m-2*n]
+		}
+		out[i] = v * scale
+	}
+	return out
+}
+
+// foldMDCT maps the 2N input samples onto the N-point DCT-IV domain using
+// the standard TDAC boundary symmetries.
+func foldMDCT(x []float64, n int) []float64 {
+	u := make([]float64, n)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		u[i] = -x[3*half-1-i] - x[3*half+i]
+	}
+	for i := half; i < n; i++ {
+		u[i] = x[i-half] - x[3*half-1-i]
+	}
+	return u
+}
+
+// dctIV evaluates the DCT-IV
+//
+//	X[k] = Σ_{n=0}^{N-1} u[n] · cos(π/N · (n+½)(k+½))
+//
+// via a zero-padded 2N-point FFT with pre/post twiddles.
+func dctIV(u []float64) []float64 {
+	n := len(u)
+	if n == 0 {
+		return nil
+	}
+	a := math.Pi / float64(n)
+	// Exact length-2n DFT (the FFT dispatches to Bluestein for non-power-
+	// of-two sizes, so every n is supported).
+	buf := make([]complex128, 2*n)
+	for i, v := range u {
+		phase := -a * float64(i) / 2
+		buf[i] = complex(v*math.Cos(phase), v*math.Sin(phase))
+	}
+	spec := FFT(buf)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		post := -a * (float64(k)/2 + 0.25)
+		c := complex(math.Cos(post), math.Sin(post))
+		out[k] = real(c * spec[k])
+	}
+	return out
+}

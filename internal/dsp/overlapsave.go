@@ -1,0 +1,68 @@
+package dsp
+
+import "math/cmplx"
+
+// MarkerCorrelator performs streaming cross-correlation against a fixed
+// template using the overlap-save method with a cached template FFT.
+// Compared to calling CrossCorrelate per chunk — which pays a forward FFT
+// of the template every time and re-transforms the template-length overlap
+// — a correlator amortizes to roughly two FFTs per Step() lags, an
+// order-of-magnitude saving when the template is long (Ekho's 1 s marker).
+type MarkerCorrelator struct {
+	n    int          // FFT size
+	m    int          // template length
+	wfft []complex128 // conj(FFT(template)), cached
+	buf  []complex128 // reusable transform buffer
+}
+
+// NewMarkerCorrelator prepares a correlator for the template. fftSize must
+// be a power of two greater than the template length; larger sizes yield
+// more lags per step (Step() = fftSize − len(template) + 1).
+func NewMarkerCorrelator(template []float64, fftSize int) *MarkerCorrelator {
+	if fftSize < NextPow2(len(template)+1) {
+		fftSize = NextPow2(2 * len(template))
+	}
+	w := make([]complex128, fftSize)
+	for i, v := range template {
+		w[i] = complex(v, 0)
+	}
+	fftPow2(w, false)
+	for i := range w {
+		w[i] = cmplx.Conj(w[i])
+	}
+	return &MarkerCorrelator{
+		n:    fftSize,
+		m:    len(template),
+		wfft: w,
+		buf:  make([]complex128, fftSize),
+	}
+}
+
+// Step returns the number of correlation lags produced per Correlate call.
+func (c *MarkerCorrelator) Step() int { return c.n - c.m + 1 }
+
+// SegmentLen returns the required input length per Correlate call: the
+// segment covering lags [t0, t0+Step) must span [t0, t0+Step+m-1), i.e.
+// the FFT size exactly.
+func (c *MarkerCorrelator) SegmentLen() int { return c.n }
+
+// Correlate computes Z[t] = Σ seg[t+i]·w[i] for t = 0..Step()-1. seg must
+// be exactly SegmentLen() samples (the trailing m-1 samples overlap the
+// next call's head). The returned slice is freshly allocated.
+func (c *MarkerCorrelator) Correlate(seg []float64) []float64 {
+	CheckLen("overlap-save segment", len(seg), c.n)
+	for i, v := range seg {
+		c.buf[i] = complex(v, 0)
+	}
+	fftPow2(c.buf, false)
+	for i := range c.buf {
+		c.buf[i] *= c.wfft[i]
+	}
+	fftPow2(c.buf, true)
+	out := make([]float64, c.Step())
+	scale := 1 / float64(c.n)
+	for t := range out {
+		out[t] = real(c.buf[t]) * scale
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMarkerCorrelatorMatchesCrossCorrelate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tmpl := make([]float64, 48000)
+	for i := range tmpl {
+		tmpl[i] = rng.NormFloat64()
+	}
+	sig := make([]float64, 300000)
+	for i := range sig {
+		sig[i] = rng.NormFloat64() * 0.3
+	}
+	want := CrossCorrelate(sig, tmpl)
+
+	c := NewMarkerCorrelator(tmpl, 1<<17)
+	if c.SegmentLen() != 1<<17 {
+		t.Fatalf("segment len %d", c.SegmentLen())
+	}
+	step := c.Step()
+	var got []float64
+	for start := 0; start+c.SegmentLen() <= len(sig); start += step {
+		got = append(got, c.Correlate(sig[start:start+c.SegmentLen()])...)
+	}
+	if len(got) < len(want)/2 {
+		t.Fatalf("only %d lags from overlap-save vs %d direct", len(got), len(want))
+	}
+	for i := range got {
+		if i >= len(want) {
+			break
+		}
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("lag %d: overlap-save %g vs direct %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMarkerCorrelatorTooSmallFFTSizeUpgraded(t *testing.T) {
+	tmpl := make([]float64, 1000)
+	c := NewMarkerCorrelator(tmpl, 512) // smaller than template
+	if c.SegmentLen() < 2*len(tmpl) {
+		t.Fatalf("fft size not upgraded: %d", c.SegmentLen())
+	}
+	if c.Step() <= 0 {
+		t.Fatal("step must be positive")
+	}
+}
+
+func TestMarkerCorrelatorRejectsWrongSegment(t *testing.T) {
+	c := NewMarkerCorrelator(make([]float64, 100), 1024)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong segment length should panic")
+		}
+	}()
+	c.Correlate(make([]float64, 100))
+}
+
+func BenchmarkMarkerCorrelatorPerSecond(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tmpl := make([]float64, 48000)
+	for i := range tmpl {
+		tmpl[i] = rng.NormFloat64()
+	}
+	c := NewMarkerCorrelator(tmpl, 1<<17)
+	seg := make([]float64, c.SegmentLen())
+	for i := range seg {
+		seg[i] = rng.NormFloat64()
+	}
+	// One iteration ~= the FFT work for Step() lags.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Correlate(seg)
+	}
+}

@@ -1,0 +1,92 @@
+package dsp
+
+import "math"
+
+// ResampleLinear converts x to a new length using linear interpolation.
+// It is used for small playback-rate adjustments (temporarily faster
+// playback during delay reversion) where a full polyphase resampler would
+// be overkill.
+func ResampleLinear(x []float64, outLen int) []float64 {
+	if outLen <= 0 || len(x) == 0 {
+		return make([]float64, 0)
+	}
+	out := make([]float64, outLen)
+	if len(x) == 1 {
+		for i := range out {
+			out[i] = x[0]
+		}
+		return out
+	}
+	step := float64(len(x)-1) / float64(outLen-1)
+	if outLen == 1 {
+		out[0] = x[0]
+		return out
+	}
+	for i := 0; i < outLen; i++ {
+		pos := float64(i) * step
+		j := int(pos)
+		if j >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(j)
+		out[i] = x[j]*(1-frac) + x[j+1]*frac
+	}
+	return out
+}
+
+// FractionalDelay shifts x by a (possibly fractional) number of samples
+// using windowed-sinc interpolation, returning a slice of the same length.
+// Positive delay moves content later in time. Sub-sample shifts are what
+// let the simulator exercise Ekho's sub-millisecond accuracy claims.
+func FractionalDelay(x []float64, delay float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	intPart := math.Floor(delay)
+	frac := delay - intPart
+	shift := int(intPart)
+	if frac == 0 {
+		for i := range out {
+			src := i - shift
+			if src >= 0 && src < n {
+				out[i] = x[src]
+			}
+		}
+		return out
+	}
+	const halfWidth = 16
+	for i := 0; i < n; i++ {
+		// out[i] = x(i - delay) interpolated.
+		center := float64(i) - delay
+		j0 := int(math.Floor(center)) - halfWidth + 1
+		var acc float64
+		for j := j0; j < j0+2*halfWidth; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			t := center - float64(j)
+			acc += x[j] * sincHann(t, halfWidth)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func sincHann(t float64, halfWidth int) float64 {
+	if math.Abs(t) >= float64(halfWidth) {
+		return 0
+	}
+	var s float64
+	if t == 0 {
+		s = 1
+	} else {
+		pt := math.Pi * t
+		s = math.Sin(pt) / pt
+	}
+	// Hann taper over the kernel support.
+	w := 0.5 + 0.5*math.Cos(math.Pi*t/float64(halfWidth))
+	return s * w
+}

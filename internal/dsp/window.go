@@ -1,0 +1,64 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window function.
+type Window int
+
+// Supported window shapes.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// Make returns the window coefficients of length n.
+func (w Window) Make(n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := float64(n - 1)
+	for i := 0; i < n; i++ {
+		t := float64(i) / den
+		switch w {
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ApplyWindow multiplies x by the window in place and returns x.
+func ApplyWindow(x []float64, w Window) []float64 {
+	win := w.Make(len(x))
+	for i := range x {
+		x[i] *= win[i]
+	}
+	return x
+}
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	switch w {
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return "rectangular"
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"math"
+
+	"ekho/internal/acoustic"
+	"ekho/internal/analysis"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/dsp"
+	"ekho/internal/estimator"
+	"ekho/internal/gamesynth"
+	"ekho/internal/pn"
+)
+
+func init() { register("ablation", runAblation) }
+
+// runAblation probes the design choices the paper fixes by construction
+// (DESIGN.md calls these out for ablation benches):
+//
+//   - Marker band: 6-12 kHz (the paper's choice, below the SWB ceiling and
+//     above most game-audio/speech energy) vs a 1-5 kHz low-band variant
+//     that collides with chatter — the low band must lose detections.
+//   - Marker length L: 1 s vs 0.5 s vs 0.25 s — "the longer the
+//     PN-sequence, the higher its detection rate" (§4.2): shorter markers
+//     must show weaker correlation peaks.
+//   - Peak threshold θ: detection rate vs the analytic false-positive
+//     budget of Appendix A (θ=5 is the knee).
+//
+// Values: "band_low_rate", "band_paper_rate", "len_strength_<L>",
+// "theta_rate_<θ>", "theta_fp_<θ>".
+func runAblation(s Scale) *Report {
+	r := &Report{ID: "ablation", Title: "Design-choice ablations (marker band, length, threshold)"}
+	nClips := 4
+	secs := 8.0
+	if s == Quick {
+		nClips = 2
+		secs = 6
+	}
+	clips := corpusSubset(nClips)
+
+	// --- Marker band ablation, under medium chatter. ---
+	bandRate := func(lo, hi float64) float64 {
+		seq := bandSequence(lo, hi)
+		var rates []float64
+		for i, spec := range clips {
+			clip := gamesynth.Generate(spec, secs)
+			rates = append(rates, bandDetectionRate(clip, seq, int64(7000+i)))
+		}
+		return analysis.Mean(rates)
+	}
+	paperRate := bandRate(pn.BandLowHz, pn.BandHighHz)
+	lowRate := bandRate(1000, 5000)
+	r.addf("marker band under Med Chat: 6-12 kHz rate %.2f vs 1-5 kHz rate %.2f", paperRate, lowRate)
+	r.set("band_paper_rate", paperRate)
+	r.set("band_low_rate", lowRate)
+
+	// --- Marker length ablation: peak strength vs L. ---
+	r.addf("%-12s %18s", "marker L (s)", "median peak (sigma)")
+	for _, lsec := range []float64{0.25, 0.5, 1.0} {
+		strength := lengthStrength(clips[0], lsec, secs)
+		r.addf("%-12.2f %18.1f", lsec, strength)
+		r.set(keyf("len_strength_%g", lsec), strength)
+	}
+
+	// --- Threshold ablation: θ sweep of detection rate + analytic FP. ---
+	clip := gamesynth.Generate(clips[1%len(clips)], secs)
+	marked, log := pn.Mark(clip, sharedSeq, 0.25) // low volume stresses θ
+	ch := acoustic.Channel{Mic: acoustic.SamsungIG955, DistanceFt: 6, Attenuation: 0.1,
+		Room: acoustic.Room{RT60: 0.35, Reflections: 30, Seed: 5}, AmbientLevel: 0.002, NoiseSeed: 6}
+	recv := ch.Transmit(marked)
+	recv.Samples = append(recv.Samples, make([]float64, int(1.2*audio.SampleRate))...)
+	coded, err := codec.RoundTripAligned(recv, codec.SWB24)
+	if err != nil {
+		panic(err)
+	}
+	r.addf("%-8s %14s %18s", "theta", "detect rate", "analytic FP/sample")
+	for _, theta := range []float64{3, 4, 5, 7, 10} {
+		dets := estimator.DetectMarkers(coded.Samples, estimator.Config{Seq: sharedSeq, Theta: theta})
+		rate := float64(len(dets)) / float64(len(log))
+		if rate > 1 {
+			rate = 1
+		}
+		fp := analysis.FalsePositiveRate(theta)
+		r.addf("%-8.0f %14.2f %18.2e", theta, rate, fp)
+		r.set(keyf("theta_rate_%g", theta), rate)
+		r.set(keyf("theta_fp_%g", theta), fp)
+	}
+
+	// --- Marker interval vs maximum ISD: §4.2 requires the interval to
+	// exceed twice the largest possible ISD or matching aliases to the
+	// wrong marker. Demonstrate with a 350 ms true ISD: a 1 s interval
+	// resolves it; a 0.5 s interval (max |ISD| 250 ms) aliases to -150 ms.
+	const bigISD = 0.350
+	aliasErr := func(intervalSec float64) float64 {
+		var dets []estimator.Detection
+		var markers []float64
+		for k := 1; k <= 6; k++ {
+			mt := float64(k) * intervalSec
+			markers = append(markers, mt)
+			dets = append(dets, estimator.Detection{
+				Sample: int((mt + bigISD) * audio.SampleRate), Strength: 10,
+			})
+		}
+		cfg := estimator.Config{Seq: sharedSeq,
+			IntervalSamples: int(intervalSec * audio.SampleRate),
+			MaxISDSeconds:   intervalSec / 2}
+		ms := estimator.MatchISD(dets, 0, audio.SampleRate, markers, cfg)
+		if len(ms) == 0 {
+			return math.Inf(1)
+		}
+		var worst float64
+		for _, m := range ms {
+			if e := math.Abs(m.ISDSeconds - bigISD); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	e1 := aliasErr(1.0)
+	e05 := aliasErr(0.5)
+	r.addf("interval vs 350 ms ISD: 1 s interval err %.1f ms; 0.5 s interval err %.1f ms (aliases)",
+		e1*1000, e05*1000)
+	r.set("interval_1s_err_ms", e1*1000)
+	r.set("interval_05s_err_ms", e05*1000)
+	return r
+}
+
+// bandSequence builds a PN sequence band-limited to [lo, hi] Hz (the
+// paper's generator with a different band).
+func bandSequence(lo, hi float64) *pn.Sequence {
+	base := pn.NewSequence(1337, pn.DefaultLength)
+	if lo == pn.BandLowHz && hi == pn.BandHighHz {
+		return base
+	}
+	// Generate directly: Gaussian noise filtered to [lo, hi].
+	seq := &pn.Sequence{Seed: 1337}
+	noise := make([]float64, pn.DefaultLength)
+	rng := newMCRand()
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	fir := dsp.BandPass(lo, hi, audio.SampleRate, 511)
+	filtered := fir.Apply(noise)
+	rms := dsp.RMS(filtered)
+	for i := range filtered {
+		filtered[i] /= rms
+	}
+	seq.Samples = filtered
+	return seq
+}
+
+// bandDetectionRate runs the §6.4 medium-chatter condition with markers
+// injected from the given sequence.
+func bandDetectionRate(clip *audio.Buffer, seq *pn.Sequence, seed int64) float64 {
+	marked, log := pn.Mark(clip, seq, 0.5)
+	ch := acoustic.Channel{Mic: acoustic.XboxHeadset, DistanceFt: 6, Attenuation: 0.1,
+		Room: acoustic.Room{RT60: 0.35, Reflections: 30, Seed: seed}, AmbientLevel: 0.0006, NoiseSeed: seed + 1}
+	chatter := gamesynth.Babble(newSeededRand(seed+2), clip.Duration(), 2)
+	gain := audio.GainForDBA(chatter, audio.MedianFrameDBA(clip))
+	recv := ch.TransmitMixed(marked, chatter.Clone().Gain(gain), nearFieldCoupling)
+	recv.Samples = append(recv.Samples, make([]float64, int(1.2*audio.SampleRate))...)
+	coded, err := codec.RoundTripAligned(recv, codec.SWB32)
+	if err != nil {
+		panic(err)
+	}
+	dets := estimator.DetectMarkers(coded.Samples, estimator.Config{Seq: seq})
+	rate := float64(len(dets)) / float64(len(log))
+	return math.Min(rate, 1)
+}
+
+// lengthStrength reports the median confirmed-peak strength for markers of
+// the given length (seconds) on a clean channel.
+func lengthStrength(spec gamesynth.ClipSpec, lsec, clipSecs float64) float64 {
+	seq := pn.NewSequence(777, int(lsec*audio.SampleRate))
+	clip := gamesynth.Generate(spec, clipSecs)
+	marked, _ := pn.Mark(clip, seq, 0.5)
+	ch := acoustic.Channel{Mic: acoustic.XboxHeadset, DistanceFt: 6, Attenuation: 0.1,
+		Room: acoustic.Room{RT60: 0.35, Reflections: 30, Seed: 9}, AmbientLevel: 0.0006, NoiseSeed: 10}
+	recv := ch.Transmit(marked)
+	recv.Samples = append(recv.Samples, make([]float64, int(1.2*audio.SampleRate))...)
+	// Detect with matching L (interval stays 1 s).
+	dets := estimator.DetectMarkers(recv.Samples, estimator.Config{Seq: seq})
+	if len(dets) == 0 {
+		return 0
+	}
+	var strengths []float64
+	for _, d := range dets {
+		strengths = append(strengths, d.Strength)
+	}
+	return analysis.Percentile(strengths, 0.5)
+}

@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a registered function that runs the
+// workload at a chosen scale and returns a Report: structured numbers plus
+// pre-formatted rows matching what the paper prints.
+//
+// Scales:
+//
+//   - Quick    — a few clips / short sessions; used by unit tests.
+//   - Standard — reduced but representative; used by `go test -bench`.
+//   - Full     — the paper's full workload (30 clips, 6×5 min sessions);
+//     used by `ekho-bench -scale full`.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects the workload size.
+type Scale int
+
+// Workload sizes.
+const (
+	Quick Scale = iota
+	Standard
+	Full
+)
+
+// ParseScale maps a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "quick":
+		return Quick, nil
+	case "standard", "std", "":
+		return Standard, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (quick|standard|full)", s)
+}
+
+// Report is an experiment's output.
+type Report struct {
+	// ID is the experiment identifier (e.g. "fig11").
+	ID string
+	// Title describes the paper element reproduced.
+	Title string
+	// Rows are formatted output lines (the table rows / figure series).
+	Rows []string
+	// Values holds key numeric results for programmatic checks; keys are
+	// experiment-specific (documented per experiment).
+	Values map[string]float64
+}
+
+// addf appends a formatted row.
+func (r *Report) addf(format string, args ...any) {
+	r.Rows = append(r.Rows, fmt.Sprintf(format, args...))
+}
+
+// set records a named value.
+func (r *Report) set(key string, v float64) {
+	if r.Values == nil {
+		r.Values = make(map[string]float64)
+	}
+	r.Values[key] = v
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func(Scale) *Report
+
+var registry = map[string]Runner{}
+var registryOrder []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	registryOrder = append(registryOrder, id)
+}
+
+// Get returns the runner for an experiment ID.
+func Get(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// IDs lists all experiment IDs in registration order.
+func IDs() []string {
+	out := append([]string(nil), registryOrder...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustRun(t *testing.T, id string) *Report {
+	t.Helper()
+	run, ok := Get(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	r := run(Quick)
+	if r.ID != id {
+		t.Fatalf("report id %q", r.ID)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "table1", "fig5", "fig6", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig17", "table2", "appa"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Fatalf("registry has %d ids", len(IDs()))
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown id should miss")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"quick": Quick, "standard": Standard, "": Standard, "full": Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("bogus scale should error")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := mustRun(t, "fig2")
+	// 10 ms echo already below 4 ("audible or worse") in every category.
+	for _, cat := range []string{"speech", "music", "sfx"} {
+		if r.Values[cat+"_0"] < 4.3 {
+			t.Fatalf("%s reference score %g", cat, r.Values[cat+"_0"])
+		}
+		if r.Values[cat+"_10"] > 3.8 {
+			t.Fatalf("%s at 10 ms %g should be noticeably degraded", cat, r.Values[cat+"_10"])
+		}
+	}
+	// Speech keeps dropping beyond 40 ms; music/SFX plateau.
+	if r.Values["speech_drop_40_300"] < 1.5*r.Values["music_drop_40_300"] {
+		t.Fatalf("speech drop %g vs music drop %g", r.Values["speech_drop_40_300"], r.Values["music_drop_40_300"])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := mustRun(t, "table1")
+	if r.Values["net_lo_ms"] < 5 || r.Values["net_hi_ms"] > 400 {
+		t.Fatalf("network range [%g, %g] implausible", r.Values["net_lo_ms"], r.Values["net_hi_ms"])
+	}
+	if r.Values["net_hi_ms"] < 100 {
+		t.Fatalf("network high %g should reach cellular territory", r.Values["net_hi_ms"])
+	}
+	if r.Values["dec_lo_ms"] < 20 || r.Values["dec_hi_ms"] > 120 {
+		t.Fatalf("decode range [%g, %g]", r.Values["dec_lo_ms"], r.Values["dec_hi_ms"])
+	}
+	// Asymmetric paths must produce tens of ms of clock error.
+	if r.Values["rtt_err_hi_ms"] < 20 {
+		t.Fatalf("RTT asymmetry error %g ms too small to motivate Ekho", r.Values["rtt_err_hi_ms"])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := mustRun(t, "fig5")
+	if r.Values["norm_peak_to_bg"] < 5 {
+		t.Fatalf("normalized peak/bg %g too weak", r.Values["norm_peak_to_bg"])
+	}
+	if r.Values["confirmed"] < r.Values["markers"]-1 {
+		t.Fatalf("confirmed %g of %g markers", r.Values["confirmed"], r.Values["markers"])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r := mustRun(t, "fig6")
+	if r.Values["max_abs_err_ms"] > 0.1 {
+		t.Fatalf("matching error %g ms", r.Values["max_abs_err_ms"])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := mustRun(t, "fig10")
+	if r.Values["ref"]-r.Values["c_1"] > 0.5 {
+		t.Fatalf("C=1.0 score %g too far below reference %g", r.Values["c_1"], r.Values["ref"])
+	}
+	if r.Values["c_2.5"] > 3.6 {
+		t.Fatalf("C=2.5 score %g should be slightly distracting", r.Values["c_2.5"])
+	}
+	if r.Values["c_5"] >= r.Values["c_2.5"] {
+		t.Fatal("C=5 should be worse than C=2.5")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r := mustRun(t, "fig17")
+	studio := r.Values["swing_db_0"]
+	xbox := r.Values["swing_db_1"]
+	samsung := r.Values["swing_db_2"]
+	if !(studio < xbox && xbox < samsung) {
+		t.Fatalf("swing ordering: %g %g %g", studio, xbox, samsung)
+	}
+	if samsung < 25 {
+		t.Fatalf("samsung swing %g should exceed 25 dB", samsung)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := mustRun(t, "table2")
+	if r.Values["clips"] != 30 || r.Values["games"] != 15 {
+		t.Fatalf("corpus %g clips %g games", r.Values["clips"], r.Values["games"])
+	}
+}
+
+func TestAppAShape(t *testing.T) {
+	r := mustRun(t, "appa")
+	if r.Values["mtbf_hours_theta5"] < 1 {
+		t.Fatalf("false-peak MTBF %g h", r.Values["mtbf_hours_theta5"])
+	}
+	if math.Abs(r.Values["mc_ratio_theta3"]-1) > 0.25 {
+		t.Fatalf("Monte-Carlo ratio %g", r.Values["mc_ratio_theta3"])
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := mustRun(t, "table2")
+	s := r.String()
+	if !strings.Contains(s, "table2") || !strings.Contains(s, "Halo Infinite") {
+		t.Fatal("report string content")
+	}
+}

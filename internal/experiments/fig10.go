@@ -1,0 +1,45 @@
+package experiments
+
+import "ekho/internal/perceptual"
+
+func init() { register("fig10", runFig10) }
+
+// runFig10 reproduces Figure 10: DCR opinion scores for marker audibility
+// across relative marker powers C. The paper's finding: up to C = 1.0 the
+// experience is comparable to the reference; C = 2.5 is audible and
+// slightly distracting.
+//
+// The human study is replaced by the perceptual masking model plus a rater
+// pool (~186 votes per level in the paper).
+//
+// Values: "c_<C>" mean DCR per level (e.g. "c_0.5"), "ref".
+func runFig10(s Scale) *Report {
+	r := &Report{ID: "fig10", Title: "Marker audibility DCR vs relative power C"}
+	votes := 62
+	if s == Quick {
+		votes = 20
+	}
+	pool := perceptual.NewRaterPool(808)
+	levels := []float64{0, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0}
+	r.addf("%-8s %8s %8s  %s", "C", "mean", "ci95", "label")
+	for _, c := range levels {
+		model := perceptual.MarkerAudibility(c)
+		mean, ci := perceptual.Score(pool.Rate(model, votes))
+		name := "ref"
+		if c > 0 {
+			name = trimFloat(c)
+		}
+		r.addf("%-8s %8.2f %8.2f  %s", name, mean, ci, perceptual.DCR(mean).Label())
+		if c == 0 {
+			r.set("ref", mean)
+		} else {
+			r.set("c_"+trimFloat(c), mean)
+		}
+	}
+	return r
+}
+
+func trimFloat(v float64) string {
+	s := keyf("%g", v)
+	return s
+}

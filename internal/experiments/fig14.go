@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"ekho/internal/acoustic"
+	"ekho/internal/analysis"
+	"ekho/internal/codec"
+	"ekho/internal/gamesynth"
+)
+
+func init() {
+	register("fig14", runFig14)
+	register("fig15", runFig15)
+	register("fig17", runFig17)
+}
+
+// runFig14 reproduces Figure 14 (Appendix B): the microphone-quality
+// ablation. At C = 0.5, Ekho should keep ~100% marker detection and
+// sub-millisecond error across all three microphones despite their wildly
+// different frequency responses.
+//
+// Values: "rate_mean_<mic>", "err_p99_us_<mic>", "full_pct_<mic>" (mic =
+// int enum value).
+func runFig14(s Scale) *Report {
+	r := &Report{ID: "fig14", Title: "Microphone ablation: detection rate and ISD error"}
+	mics := []acoustic.Microphone{acoustic.StudioMic, acoustic.XboxHeadset, acoustic.SamsungIG955}
+	clips := corpusSubset(clipCount(s))
+	secs := clipSeconds(s)
+	rng := rand.New(rand.NewSource(14))
+	truths := make([]float64, len(clips))
+	for i := range truths {
+		truths[i] = rng.Float64()*0.4 - 0.2
+	}
+	r.addf("%-26s %12s %12s %14s", "microphone", "mean rate", "100% clips", "err p99 (us)")
+	for _, mic := range mics {
+		var rates []float64
+		var errs []float64
+		for i, spec := range clips {
+			clip := gamesynth.Generate(spec, secs)
+			res := runDetection(clip, recordingSetup{
+				Mic:         mic,
+				Profile:     codec.SWB32,
+				C:           0.5,
+				TruthISDSec: truths[i],
+				Seed:        int64(3000*i) + int64(mic),
+				DriftPPM:    defaultDriftPPM(int64(3000*i) + int64(mic)),
+			})
+			rates = append(rates, res.Rate)
+			errs = append(errs, res.AbsErrorsSec...)
+		}
+		full := analysis.Fraction(rates, func(v float64) bool { return v >= 0.999 }) * 100
+		_, p99 := summarizeErrors(errs)
+		r.addf("%-26s %12.2f %11.0f%% %14.0f", mic, analysis.Mean(rates), full, p99)
+		r.set(keyf("rate_mean_%d", int(mic)), analysis.Mean(rates))
+		r.set(keyf("err_p99_us_%d", int(mic)), p99)
+		r.set(keyf("full_pct_%d", int(mic)), full)
+	}
+	return r
+}
+
+// runFig15 reproduces Figure 15 (Appendix C): the encoding ablation. The
+// four operating points of the paper — lossless, SWB 32 kbps, SWB 24 kbps
+// and SWB 24 kbps ultra-low-latency — should all keep a satisfiable
+// detection level, with harsher encodes slightly harder.
+//
+// Values: "rate_mean_<profile>", "err_p99_us_<profile>" (profile index in
+// the order below).
+func runFig15(s Scale) *Report {
+	r := &Report{ID: "fig15", Title: "Encoding ablation: detection rate and ISD error"}
+	profiles := []codec.Profile{codec.Lossless, codec.SWB32, codec.SWB24, codec.SWB24ULL}
+	clips := corpusSubset(clipCount(s))
+	secs := clipSeconds(s)
+	rng := rand.New(rand.NewSource(15))
+	truths := make([]float64, len(clips))
+	for i := range truths {
+		truths[i] = rng.Float64()*0.4 - 0.2
+	}
+	r.addf("%-28s %12s %12s %14s", "profile", "mean rate", "100% clips", "err p99 (us)")
+	for pi, prof := range profiles {
+		var rates []float64
+		var errs []float64
+		for i, spec := range clips {
+			clip := gamesynth.Generate(spec, secs)
+			res := runDetection(clip, recordingSetup{
+				Mic:         acoustic.XboxHeadset,
+				Profile:     prof,
+				C:           0.5,
+				TruthISDSec: truths[i],
+				Seed:        int64(4000*i) + int64(pi),
+				DriftPPM:    defaultDriftPPM(int64(4000*i) + int64(pi)),
+			})
+			rates = append(rates, res.Rate)
+			errs = append(errs, res.AbsErrorsSec...)
+		}
+		full := analysis.Fraction(rates, func(v float64) bool { return v >= 0.999 }) * 100
+		_, p99 := summarizeErrors(errs)
+		r.addf("%-28s %12.2f %11.0f%% %14.0f", prof.Name, analysis.Mean(rates), full, p99)
+		r.set(keyf("rate_mean_%d", pi), analysis.Mean(rates))
+		r.set(keyf("err_p99_us_%d", pi), p99)
+	}
+	return r
+}
+
+// runFig17 reproduces Figure 17 (Appendix E): the frequency responses of
+// the three microphone models, probed with sinusoids. Paper: the studio
+// microphone is ~flat, the Xbox headset has several-dB peaks and troughs,
+// and the Samsung earphone swings more than 30 dB.
+//
+// Values: "swing_db_<mic>".
+func runFig17(s Scale) *Report {
+	r := &Report{ID: "fig17", Title: "Microphone frequency responses"}
+	freqs := []float64{200, 400, 800, 1500, 3000, 5500, 7000, 9000, 10500, 12000, 15000}
+	if s == Quick {
+		freqs = []float64{400, 3000, 9000, 12000}
+	}
+	mics := []acoustic.Microphone{acoustic.StudioMic, acoustic.XboxHeadset, acoustic.SamsungIG955}
+	header := "freq(Hz)"
+	r.addf("%-10s %22s %22s %22s", header, mics[0], mics[1], mics[2])
+	swings := make([]float64, len(mics))
+	mins := []float64{1e9, 1e9, 1e9}
+	maxs := []float64{-1e9, -1e9, -1e9}
+	for _, f := range freqs {
+		var vals [3]float64
+		for i, m := range mics {
+			v := m.ResponseDB(f)
+			vals[i] = v
+			if v < mins[i] {
+				mins[i] = v
+			}
+			if v > maxs[i] {
+				maxs[i] = v
+			}
+		}
+		r.addf("%-10.0f %22.1f %22.1f %22.1f", f, vals[0], vals[1], vals[2])
+	}
+	for i, m := range mics {
+		swings[i] = maxs[i] - mins[i]
+		r.addf("%s swing: %.1f dB", m, swings[i])
+		r.set(keyf("swing_db_%d", int(m)), swings[i])
+	}
+	return r
+}

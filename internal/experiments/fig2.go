@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ekho/internal/gamesynth"
+	"ekho/internal/perceptual"
+)
+
+func init() { register("fig2", runFig2) }
+
+// runFig2 reproduces Figure 2: crowdsourced opinion scores for how echoes
+// affect user experience, per stimulus category and echo delay.
+//
+// The human study is replaced by the perceptual echo-annoyance model plus a
+// simulated rater pool (see internal/perceptual); the paper collected ~296
+// votes per delay level across 30 clips.
+//
+// Values: "<cat>_<delay>" mean DCR (e.g. "speech_10"), plus
+// "speech_drop_40_300" and "music_drop_40_300" for the shape check.
+func runFig2(s Scale) *Report {
+	r := &Report{ID: "fig2", Title: "Echo-threshold DCR scores (speech / music / game SFX)"}
+	delays := []float64{0, 10, 20, 40, 60, 80, 160, 300}
+	votes := 100
+	if s == Quick {
+		votes = 30
+	}
+	pool := perceptual.NewRaterPool(2023)
+	cats := []struct {
+		name string
+		cat  gamesynth.Category
+	}{
+		{"speech", gamesynth.Speech_},
+		{"music", gamesynth.Music_},
+		{"sfx", gamesynth.SFX_},
+	}
+	r.addf("%-8s %8s %8s %8s  %s", "category", "delay_ms", "mean", "ci95", "label")
+	for _, c := range cats {
+		for _, d := range delays {
+			model := perceptual.EchoAnnoyance(c.cat, d)
+			mean, ci := perceptual.Score(pool.Rate(model, votes))
+			r.addf("%-8s %8.0f %8.2f %8.2f  %s", c.name, d, mean, ci, perceptual.DCR(mean).Label())
+			r.set(keyf("%s_%.0f", c.name, d), mean)
+			r.set(keyf("%s_%.0f_model", c.name, d), float64(model))
+		}
+	}
+	r.set("speech_drop_40_300", r.Values["speech_40_model"]-r.Values["speech_300_model"])
+	r.set("music_drop_40_300", r.Values["music_40_model"]-r.Values["music_300_model"])
+	r.set("sfx_drop_40_300", r.Values["sfx_40_model"]-r.Values["sfx_300_model"])
+	return r
+}
+
+func keyf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"math"
+
+	"ekho/internal/analysis"
+	"ekho/internal/session"
+)
+
+func init() {
+	register("fig8", runFig8)
+	register("fig9", runFig9)
+}
+
+// fig8Sessions maps scale to (session count, duration seconds). The paper
+// runs 6 sessions of 5 minutes each.
+func fig8Sessions(s Scale) (int, float64) {
+	switch s {
+	case Quick:
+		return 1, 45
+	case Standard:
+		return 2, 90
+	default:
+		return 6, 300
+	}
+}
+
+// runFig8 reproduces Figure 8: the CDF of |ISD| across end-to-end WebRTC-
+// style sessions over cellular + WiFi links, with and without Ekho. The
+// paper reports 86.8% of time below 10 ms with Ekho and never below 50 ms
+// without.
+//
+// Values: "on_below_10ms_pct", "off_below_50ms_pct", "on_median_ms",
+// "off_min_ms".
+func runFig8(s Scale) *Report {
+	r := &Report{ID: "fig8", Title: "End-to-end |ISD| CDF, Ekho ON vs OFF"}
+	n, dur := fig8Sessions(s)
+	var on, off []float64
+	for i := 0; i < n; i++ {
+		sc := session.DefaultScenario()
+		sc.Seed = int64(i + 1)
+		sc.DurationSec = dur
+		sc.ClipIndex = i * 5
+		sc.EkhoEnabled = true
+		ron := session.Run(sc)
+		for _, p := range ron.Trace {
+			if p.TimeSec >= sc.WarmupIgnoreSec {
+				on = append(on, math.Abs(p.ISDSeconds)*1000)
+			}
+		}
+		sc.EkhoEnabled = false
+		roff := session.Run(sc)
+		for _, p := range roff.Trace {
+			if p.TimeSec >= sc.WarmupIgnoreSec {
+				off = append(off, math.Abs(p.ISDSeconds)*1000)
+			}
+		}
+	}
+	probes := []float64{1, 2, 5, 10, 20, 50, 100, 200, 300, 500}
+	onCDF := analysis.CDF(on, probes)
+	offCDF := analysis.CDF(off, probes)
+	r.addf("%-10s %14s %14s", "ISD (ms)", "Ekho ON (%)", "Ekho OFF (%)")
+	for i, p := range probes {
+		r.addf("%-10.0f %14.1f %14.1f", p, onCDF[i]*100, offCDF[i]*100)
+	}
+	below10 := analysis.Fraction(on, func(v float64) bool { return v <= 10 }) * 100
+	offBelow50 := analysis.Fraction(off, func(v float64) bool { return v <= 50 }) * 100
+	r.addf("Ekho ON:  %.1f%% of time below 10 ms (paper: 86.8%%)", below10)
+	r.addf("Ekho OFF: %.1f%% of time below 50 ms (paper: 0%%)", offBelow50)
+	r.set("on_below_10ms_pct", below10)
+	r.set("off_below_50ms_pct", offBelow50)
+	r.set("on_median_ms", analysis.Percentile(on, 0.5))
+	r.set("off_min_ms", minOf(off))
+	return r
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// runFig9 reproduces Figure 9: one example session trace with scripted
+// packet-loss events. The paper's session starts ~436 ms out of sync
+// (corrected with 22 inserted frames), then a controller-side loss bumps
+// ISD by ~20 ms (fixed in ~6 s) and a 2-frame screen-side loss bumps it by
+// ~40 ms the other way (fixed in ~4 s).
+//
+// Values: "initial_isd_ms", "first_action_frames", "jump1_ms", "jump2_ms",
+// "resync1_s", "resync2_s", "final_isd_ms".
+func runFig9(s Scale) *Report {
+	r := &Report{ID: "fig9", Title: "Example session trace with loss events"}
+	dur := 130.0
+	loss1, loss2 := 57.6, 98.4
+	if s == Quick {
+		dur, loss1, loss2 = 75, 35, 55
+	}
+	sc := session.DefaultScenario()
+	sc.Seed = 7
+	sc.DurationSec = dur
+	// Deterministic: disable random loss; the scripted events drive the
+	// dynamics. Deep controller buffer so losses jump (not rebuffer).
+	sc.ScreenLink.LossProb = 0
+	sc.ControllerLink.LossProb = 0
+	sc.ControllerUplink.LossProb = 0
+	sc.ControllerJitterFrames = 3
+	// The paper's session starts 436 ms out of sync: a slow cellular path
+	// to a TV with heavy post-processing and a deep jitter buffer.
+	sc.ScreenLink.BaseDelay = 0.250
+	sc.ScreenJitterFrames = 8
+	sc.ScreenDeviceLatency = 0.100
+	sc.ScriptedLosses = []session.ScriptedLoss{
+		{AtSec: loss1, Stream: session.Accessory, Frames: 1},
+		{AtSec: loss2, Stream: session.Screen, Frames: 2},
+	}
+	res := session.Run(sc)
+
+	seg := func(lo, hi float64) float64 {
+		var v []float64
+		for _, p := range res.Trace {
+			if p.TimeSec >= lo && p.TimeSec <= hi {
+				v = append(v, p.ISDSeconds*1000)
+			}
+		}
+		return analysis.Mean(v)
+	}
+	initial := seg(1.5, 2.5)
+	// Post-loss windows open after the dropped frame reaches playout
+	// (the deep screen buffer adds ~0.5 s) and close before the
+	// compensator can react (the estimator needs ~2 s to see the shift).
+	preL1 := seg(loss1-4, loss1-0.5)
+	postL1 := seg(loss1+0.8, loss1+1.8)
+	preL2 := seg(loss2-4, loss2-0.5)
+	postL2 := seg(loss2+0.8, loss2+1.8)
+	final := seg(dur-8, dur)
+
+	resync1 := resyncTime(res, loss1)
+	resync2 := resyncTime(res, loss2)
+
+	r.addf("initial ISD: %.0f ms (paper: 436 ms gap at start)", initial)
+	if len(res.Actions) > 0 {
+		a := res.Actions[0]
+		r.addf("first correction at t=%.1fs: insert %d frames into %v stream (paper: 22 frames)",
+			a.TimeSec, a.Action.InsertFrames, a.Action.Stream)
+		r.set("first_action_frames", float64(a.Action.InsertFrames))
+	}
+	r.addf("loss@%.1fs (accessory, 1 frame): ISD %.1f -> %.1f ms (jump %.1f; paper: +20 ms)",
+		loss1, preL1, postL1, postL1-preL1)
+	r.addf("  resynchronized after %.1f s (paper: ~6 s)", resync1)
+	r.addf("loss@%.1fs (screen, 2 frames):   ISD %.1f -> %.1f ms (jump %.1f; paper: -40 ms)",
+		loss2, preL2, postL2, postL2-preL2)
+	r.addf("  resynchronized after %.1f s (paper: ~4 s)", resync2)
+	r.addf("final ISD: %.1f ms", final)
+	r.set("initial_isd_ms", initial)
+	r.set("jump1_ms", postL1-preL1)
+	r.set("jump2_ms", postL2-preL2)
+	r.set("resync1_s", resync1)
+	r.set("resync2_s", resync2)
+	r.set("final_isd_ms", final)
+	return r
+}
+
+// resyncTime returns how long after the event the |ISD| stays below 10 ms.
+func resyncTime(res *session.Result, event float64) float64 {
+	// Find the first time >= event+0.5 from which |ISD| <= 10 ms holds
+	// for at least 2 s.
+	const hold = 2.0
+	for i, p := range res.Trace {
+		if p.TimeSec < event+0.5 || math.Abs(p.ISDSeconds) > 0.010 {
+			continue
+		}
+		good := true
+		for j := i; j < len(res.Trace) && res.Trace[j].TimeSec <= p.TimeSec+hold; j++ {
+			if math.Abs(res.Trace[j].ISDSeconds) > 0.010 {
+				good = false
+				break
+			}
+		}
+		if good {
+			return p.TimeSec - event
+		}
+	}
+	return math.NaN()
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"ekho/internal/acoustic"
+	"ekho/internal/analysis"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/dsp"
+	"ekho/internal/estimator"
+	"ekho/internal/gamesynth"
+	"ekho/internal/pn"
+)
+
+// sharedSeq is the PN sequence used by all offline experiments (server and
+// estimator must agree on it, as in the real system).
+var sharedSeq = pn.NewSequence(1337, pn.DefaultLength)
+
+// ChatterLevel reproduces the §6.4 background-chatter conditions.
+type ChatterLevel int
+
+// Chatter conditions: median speech level relative to the game audio.
+const (
+	NoChat   ChatterLevel = iota
+	LowChat               // 5 dBA below the game audio
+	MedChat               // as loud as the game audio
+	LoudChat              // 5 dBA above the game audio
+)
+
+// String implements fmt.Stringer.
+func (c ChatterLevel) String() string {
+	switch c {
+	case LowChat:
+		return "Low Chat"
+	case MedChat:
+		return "Med Chat"
+	case LoudChat:
+		return "Loud Chat"
+	default:
+		return "No Chat"
+	}
+}
+
+// offsetDBA returns the chatter level relative to game audio in dBA.
+func (c ChatterLevel) offsetDBA() float64 {
+	switch c {
+	case LowChat:
+		return -5
+	case MedChat:
+		return 0
+	case LoudChat:
+		return +5
+	}
+	return math.Inf(-1)
+}
+
+// recordingSetup describes one offline §6.3-style run.
+type recordingSetup struct {
+	Mic     acoustic.Microphone
+	Profile codec.Profile
+	C       float64
+	// TruthISDSec is x, the ground-truth ISD the estimator must measure
+	// (applied by shifting the accessory timestamps, as in §6.3).
+	TruthISDSec float64
+	Chatter     ChatterLevel
+	Seed        int64
+	// ConstantAmpDB, when >= 0 with muted game audio, switches to the
+	// §6.5 constant-amplitude marker mode. Negative disables.
+	ConstantAmpDB float64
+	MutedScreen   bool
+	// DriftPPM models the frequency error between the screen device DAC
+	// clock and the headset ADC clock. Consumer crystals drift by tens of
+	// ppm; over a 15 s recording that is a fraction of a millisecond --
+	// harmless to Ekho 1 s markers, fatal to correlators that integrate
+	// the whole recording coherently.
+	DriftPPM float64
+}
+
+// defaultDriftPPM draws a clip clock drift in +-60 ppm from its seed.
+func defaultDriftPPM(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	return (r.Float64()*2 - 1) * 60
+}
+
+// applyDrift resamples a recording as captured by an ADC running at
+// (1+ppm*1e-6) times the nominal rate.
+func applyDrift(b *audio.Buffer, ppm float64) *audio.Buffer {
+	if ppm == 0 {
+		return b
+	}
+	newLen := int(math.Round(float64(b.Len()) * (1 + ppm*1e-6)))
+	return audio.FromSamples(b.Rate, dsp.ResampleLinear(b.Samples, newLen))
+}
+
+// detectionResult summarizes one run.
+type detectionResult struct {
+	Markers      int
+	Measurements int
+	// Rate = Measurements / Markers.
+	Rate float64
+	// AbsErrorsSec are |measured − truth| for each measurement.
+	AbsErrorsSec []float64
+	// RecordingDBA is the sound level of what the room heard (Fig. 13).
+	RecordingDBA float64
+}
+
+// runDetection executes the offline §6.3 methodology for one clip: add
+// markers (Eq. 2), play through the speaker/room/microphone channel with
+// optional near-field chatter, compress the recording (OPUS-like), then
+// run Ekho-Estimator with timestamps offset by the ground-truth ISD and
+// measure error and measurement rate.
+func runDetection(clip *audio.Buffer, setup recordingSetup) detectionResult {
+	var marked *audio.Buffer
+	var log []pn.Injection
+	if setup.MutedScreen {
+		marked, log = pn.ConstantMark(clip.Len(), sharedSeq, setup.ConstantAmpDB)
+	} else {
+		marked, log = pn.Mark(clip, sharedSeq, setup.C)
+	}
+	if len(log) == 0 {
+		return detectionResult{}
+	}
+
+	ch := acoustic.Channel{
+		Mic:          setup.Mic,
+		DistanceFt:   6,
+		Attenuation:  0.1,
+		Room:         acoustic.Room{RT60: 0.35, Reflections: 30, Seed: setup.Seed},
+		AmbientLevel: 0.0006,
+		NoiseSeed:    setup.Seed + 1,
+	}
+
+	var recv *audio.Buffer
+	if setup.Chatter != NoChat {
+		rng := rand.New(rand.NewSource(setup.Seed + 2))
+		chatter := gamesynth.Babble(rng, clip.Duration(), 2)
+		// Calibrate: chatter median dBA = game median + offset. The
+		// chatter is near-field (spoken into the mic) while the game
+		// audio is overheard at ~0.1 gain, so apply the offset against
+		// the *overheard* level as the player experiences both in-room.
+		// Chatter plays in the room at the configured dBA offset from the
+		// game audio, but its sources (people near the player) couple to
+		// the headset microphone more strongly than the distant TV: the
+		// room level calibration applies at the sources, and the chatter
+		// reaches the mic at nearFieldCoupling instead of the overheard
+		// path's 0.1 attenuation.
+		target := audio.MedianFrameDBA(clip) + setup.Chatter.offsetDBA()
+		gain := audio.GainForDBA(chatter, target)
+		recv = ch.TransmitMixed(marked, chatter.Clone().Gain(gain), nearFieldCoupling)
+	} else {
+		recv = ch.Transmit(marked)
+	}
+
+	// The capture keeps rolling briefly after the clip ends, and the ADC
+	// clock drifts relative to the playback clock.
+	recv.Samples = append(recv.Samples, make([]float64, int(1.2*audio.SampleRate))...)
+	recv = applyDrift(recv, setup.DriftPPM)
+	dba := audio.DBA(recv)
+
+	// Lossy uplink compression.
+	coded, err := codec.RoundTripAligned(recv, setup.Profile)
+	if err != nil {
+		panic("experiments: codec: " + err.Error())
+	}
+
+	// Timestamps per §6.3: T_chat_i = i·20ms; T_accessory marker times are
+	// the injection times minus x. The channel's own deterministic delay
+	// is part of the measured end-to-end ISD, so fold it into the truth.
+	var markerTimes []float64
+	for _, inj := range log {
+		markerTimes = append(markerTimes, float64(inj.StartSample)/audio.SampleRate-setup.TruthISDSec)
+	}
+	truth := setup.TruthISDSec + ch.TotalDelaySec()
+
+	ms := estimator.Estimate(coded, 0, markerTimes, estimator.Config{Seq: sharedSeq})
+	res := detectionResult{
+		Markers:      len(log),
+		Measurements: len(ms),
+		RecordingDBA: dba,
+	}
+	if res.Markers > 0 {
+		res.Rate = float64(res.Measurements) / float64(res.Markers)
+	}
+	for _, m := range ms {
+		// Drift stretches the recording timeline, so the expected
+		// measurement grows linearly with the detection time.
+		want := truth + setup.DriftPPM*1e-6*m.DetectionTime
+		res.AbsErrorsSec = append(res.AbsErrorsSec, math.Abs(m.ISDSeconds-want))
+	}
+	return res
+}
+
+// corpusSubset returns the first n corpus clips (n<=0 means all 30).
+func corpusSubset(n int) []gamesynth.ClipSpec {
+	cat := gamesynth.Catalog()
+	if n <= 0 || n >= len(cat) {
+		return cat
+	}
+	return cat[:n]
+}
+
+// clipCount maps a scale to a corpus size.
+func clipCount(s Scale) int {
+	switch s {
+	case Quick:
+		return 4
+	case Standard:
+		return 10
+	default:
+		return 30
+	}
+}
+
+// clipSeconds maps a scale to a clip length (the paper uses 15 s).
+func clipSeconds(s Scale) float64 {
+	switch s {
+	case Quick:
+		return 6
+	case Standard:
+		return 10
+	default:
+		return gamesynth.ClipSeconds
+	}
+}
+
+// rateBuckets formats a measurement-rate histogram like Figures 11/12/14/15:
+// "No Detection", then quartile buckets.
+var rateBucketLabels = []string{"No Detection", "0-25%", "25-50%", "50-75%", "75-100%"}
+
+func rateBucket(rate float64) int {
+	switch {
+	case rate <= 0:
+		return 0
+	case rate <= 0.25:
+		return 1
+	case rate <= 0.50:
+		return 2
+	case rate <= 0.75:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// bucketCounts aggregates per-clip rates into the five buckets (percent).
+func bucketCounts(rates []float64) [5]float64 {
+	var out [5]float64
+	if len(rates) == 0 {
+		return out
+	}
+	for _, r := range rates {
+		out[rateBucket(r)]++
+	}
+	for i := range out {
+		out[i] = out[i] / float64(len(rates)) * 100
+	}
+	return out
+}
+
+// summarizeErrors returns the mean and p99 of absolute errors in µs.
+func summarizeErrors(errs []float64) (meanUs, p99Us float64) {
+	if len(errs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return analysis.Mean(errs) * 1e6, analysis.Percentile(errs, 0.99) * 1e6
+}
+
+// nearFieldCoupling is the microphone coupling of in-room chatter sources
+// relative to digital full scale; the overheard TV path is 0.1, and people
+// chatting beside the player are several times closer.
+const nearFieldCoupling = 0.6
+
+// newMCRand returns the RNG used by Monte-Carlo validations.
+func newMCRand() *rand.Rand { return rand.New(rand.NewSource(31337)) }
+
+// newSeededRand returns a deterministic RNG for a seed.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

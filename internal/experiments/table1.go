@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"ekho/internal/analysis"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/netsim"
+	"ekho/internal/ntp"
+	"ekho/internal/vclock"
+)
+
+func init() { register("table1", runTable1) }
+
+// runTable1 reproduces Table 1: the latency breakdown in cloud gaming and
+// the measurement-error sources that motivate Ekho. Network-path delays are
+// measured on the simulated links; decoding/buffering combines the codec's
+// algorithmic delay with jitter-buffer thresholds; hardware scheduling and
+// sound propagation use the configured device/physics ranges; and the
+// RTT-asymmetry row measures actual NTP/RTT-based clock error over
+// asymmetric paths.
+//
+// Values: "net_lo_ms"/"net_hi_ms", "dec_lo_ms"/"dec_hi_ms",
+// "rtt_err_hi_ms" (max observed clock error), "prop_hi_ms".
+func runTable1(s Scale) *Report {
+	r := &Report{ID: "table1", Title: "Latency breakdown and measurement error ranges"}
+	polls := 200
+	if s == Quick {
+		polls = 40
+	}
+
+	// Network path: sample one-way delays across the presets.
+	netLo, netHi := linkDelayRange(netsim.Ethernet, polls)
+	_, cellHi := linkDelayRange(netsim.Cellular, polls)
+	if cellHi > netHi {
+		netHi = cellHi
+	}
+	// Include a long-haul path-change component (up to +150 ms).
+	far := netsim.Cellular
+	far.BaseDelay += 0.15
+	if _, hi := linkDelayRange(far, polls); hi > netHi {
+		netHi = hi
+	}
+
+	// Decoding + buffering: codec delay plus jitter-buffer thresholds
+	// (2-4 frames here; devices in the wild buffer up to 80 ms).
+	decLo := float64(codec.SWB24ULL.Delay())/audio.SampleRate + 2*0.020
+	decHi := float64(codec.SWB32.Delay())/audio.SampleRate + 4*0.020
+	decLo *= 1000
+	decHi *= 1000
+
+	// Hardware scheduling (device playback latency range used in the
+	// end-to-end scenarios) and propagation (2-19 ft).
+	hwLo, hwHi := 0.0, 60.0
+	propLo, propHi := 2.0, 18.0
+
+	// RTT/2 and NTP error under asymmetry 0..120 ms.
+	var errs []float64
+	for _, asym := range []float64{0, 0.030, 0.060, 0.120} {
+		sched := vclock.NewScheduler()
+		down := netsim.LinkConfig{BaseDelay: 0.030, JitterStd: 0.002, Seed: 11}
+		up := netsim.Asymmetric(down, asym, 31)
+		c := ntp.NewClient(sched, up, down, &vclock.Clock{Offset: 0.8})
+		c.Run(polls/4+4, 0.25)
+		errs = append(errs, c.OffsetError()*1000)
+	}
+	rttErrHi := analysis.Max(errs)
+
+	r.addf("%-28s %12s %12s", "latency part", "low (ms)", "high (ms)")
+	r.addf("%-28s %12.0f %12.0f", "Network Path", netLo*1000, netHi*1000)
+	r.addf("%-28s %12.0f %12.0f", "Decoding and Buffering", decLo, decHi)
+	r.addf("%-28s %12.0f %12.0f", "Hardware Scheduling", hwLo, hwHi)
+	r.addf("%-28s %12.0f %12.0f", "Sound Propagation", propLo, propHi)
+	r.addf("%-28s %12.0f %12.0f", "RTT-asymmetry clock error", errs[0], rttErrHi)
+	r.set("net_lo_ms", netLo*1000)
+	r.set("net_hi_ms", netHi*1000)
+	r.set("dec_lo_ms", decLo)
+	r.set("dec_hi_ms", decHi)
+	r.set("prop_hi_ms", propHi)
+	r.set("rtt_err_hi_ms", rttErrHi)
+	return r
+}
+
+// linkDelayRange samples min/max one-way delay on a link.
+func linkDelayRange(cfg netsim.LinkConfig, n int) (lo, hi float64) {
+	sched := vclock.NewScheduler()
+	sent := map[int]vclock.Time{}
+	lo, hi = 1e9, 0
+	cfg.LossProb = 0
+	link := netsim.NewLink(cfg, sched, func(p netsim.Packet) {
+		d := float64(sched.Now() - sent[p.Seq])
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	})
+	for i := 0; i < n; i++ {
+		sent[link.Send(nil)] = sched.Now()
+		sched.RunUntil(sched.Now() + 0.02)
+	}
+	sched.Run()
+	return lo, hi
+}

@@ -1,0 +1,54 @@
+package gamesynth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// clipDigest hashes a clip's quantized samples; a change means the
+// workload every experiment runs on silently changed.
+func clipDigest(spec ClipSpec) string {
+	b := Generate(spec, 2)
+	h := sha256.New()
+	var buf [2]byte
+	for _, v := range b.Samples {
+		binary.LittleEndian.PutUint16(buf[:], uint16(int16(v*32767)))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func TestGoldenDigestsPrint(t *testing.T) {
+	// Helper for regenerating the table below after an intentional
+	// synthesizer change: go test -run TestGoldenDigestsPrint -v
+	if !testing.Verbose() {
+		t.Skip("run with -v to print digests")
+	}
+	for _, spec := range Catalog()[:4] {
+		fmt.Printf("%q: %q,\n", spec.ID(), clipDigest(spec))
+	}
+}
+
+func TestCorpusGoldenDigests(t *testing.T) {
+	golden := map[string]string{}
+	for _, spec := range Catalog()[:4] {
+		golden[spec.ID()] = clipDigest(spec)
+	}
+	// Digests must be stable across repeated generation in-process...
+	for _, spec := range Catalog()[:4] {
+		if d := clipDigest(spec); d != golden[spec.ID()] {
+			t.Fatalf("%s digest changed within one process: %s vs %s", spec.ID(), d, golden[spec.ID()])
+		}
+	}
+	// ...and across clips (no two clips identical).
+	seen := map[string]string{}
+	for id, d := range golden {
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("clips %s and %s have identical audio", id, prev)
+		}
+		seen[d] = id
+	}
+}

@@ -1,0 +1,103 @@
+package gamesynth
+
+import (
+	"math"
+	"math/rand"
+
+	"ekho/internal/audio"
+	"ekho/internal/dsp"
+)
+
+// SFX synthesizes game sound effects: sparse broadband transients
+// (gunshots, impacts), sustained machinery (engines), and occasional
+// explosions. These are the "sudden sharp sounds" for which echo
+// perception is most acute (§2).
+func SFX(rng *rand.Rand, seconds float64) *audio.Buffer {
+	const rate = audio.SampleRate
+	n := int(seconds * rate)
+	out := audio.NewBuffer(rate, n)
+
+	// A sustained engine bed under everything, at low level.
+	engine(rng, out.Samples, 0.06)
+
+	// Transient events at 1-4 per second.
+	t := 0.0
+	for {
+		t += 0.25 + rng.ExpFloat64()*0.5
+		pos := int(t * rate)
+		if pos >= n {
+			break
+		}
+		switch rng.Intn(4) {
+		case 0, 1:
+			gunshot(rng, out.Samples[pos:minInt(pos+rate/4, n)])
+		case 2:
+			impact(rng, out.Samples[pos:minInt(pos+rate/6, n)])
+		case 3:
+			explosion(rng, out.Samples[pos:minInt(pos+rate, n)])
+		}
+	}
+	return out.Normalize(0.75)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// gunshot: a sharp broadband noise burst with a very fast attack and an
+// exponential decay of ~60 ms, plus a low-frequency thump.
+func gunshot(rng *rand.Rand, dst []float64) {
+	const rate = audio.SampleRate
+	n := len(dst)
+	lp := dsp.NewLowPassBiquad(9000, rate, 0.707)
+	for i := 0; i < n; i++ {
+		env := math.Exp(-float64(i) / (0.06 * rate))
+		dst[i] += 0.9 * env * lp.Process(rng.NormFloat64())
+		// thump at ~90 Hz
+		dst[i] += 0.4 * env * math.Sin(2*math.Pi*90*float64(i)/rate)
+	}
+}
+
+// impact: a band-passed click (metal/footstep-like).
+func impact(rng *rand.Rand, dst []float64) {
+	const rate = audio.SampleRate
+	n := len(dst)
+	center := 800 + rng.Float64()*3000
+	bp := dsp.NewPeakingBiquad(center, rate, 4, 20)
+	for i := 0; i < n; i++ {
+		env := math.Exp(-float64(i) / (0.025 * rate))
+		dst[i] += 0.5 * env * bp.Process(rng.NormFloat64()) * 0.1
+	}
+}
+
+// explosion: a long low-passed rumble with slow decay.
+func explosion(rng *rand.Rand, dst []float64) {
+	const rate = audio.SampleRate
+	n := len(dst)
+	lp := dsp.NewLowPassBiquad(400, rate, 0.707)
+	for i := 0; i < n; i++ {
+		env := math.Exp(-float64(i) / (0.35 * rate))
+		dst[i] += 1.2 * env * lp.Process(rng.NormFloat64())
+	}
+}
+
+// engine: sum of low harmonics with random amplitude modulation,
+// approximating car/machinery beds in racing games.
+func engine(rng *rand.Rand, dst []float64, amp float64) {
+	const rate = audio.SampleRate
+	base := 55 + rng.Float64()*60
+	mod := 0.2 + rng.Float64()*0.3
+	phase := rng.Float64() * 2 * math.Pi
+	for i := range dst {
+		t := float64(i) / rate
+		rpm := base * (1 + 0.15*math.Sin(2*math.Pi*mod*t+phase))
+		var v float64
+		for h := 1; h <= 6; h++ {
+			v += math.Sin(2*math.Pi*rpm*float64(h)*t) / float64(h)
+		}
+		dst[i] += amp * v
+	}
+}

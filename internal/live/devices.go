@@ -1,0 +1,321 @@
+package live
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"ekho"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/jitterbuf"
+	"ekho/internal/transport"
+)
+
+// ScreenConfig configures the live screen-device role: playback is
+// emulated by forwarding played frames over UDP to the client's "air"
+// port after a configurable extra delay.
+type ScreenConfig struct {
+	Server       string
+	Air          string
+	ExtraDelay   time.Duration
+	JitterFrames int
+	Duration     time.Duration
+	Logf         Logf
+}
+
+// ScreenStats summarizes a screen run.
+type ScreenStats struct {
+	Played, Forwarded int
+}
+
+type delayed struct {
+	at    time.Time
+	media transport.Media
+}
+
+// RunScreen executes the screen role.
+func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
+	var stats ScreenStats
+	logf := cfg.Logf
+	if logf == nil {
+		logf = nopLog
+	}
+	if cfg.JitterFrames == 0 {
+		cfg.JitterFrames = 4
+	}
+	conn, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return stats, err
+	}
+	defer conn.Close()
+	serverAddr, err := transport.ResolveUDP(cfg.Server)
+	if err != nil {
+		return stats, err
+	}
+	airAddr, err := transport.ResolveUDP(cfg.Air)
+	if err != nil {
+		return stats, err
+	}
+	if err := conn.SendTo(transport.EncodeHello(transport.Hello{Role: transport.RoleScreen}), serverAddr); err != nil {
+		return stats, err
+	}
+	logf("screen up; media from %s, playing into %s with +%s lag", cfg.Server, cfg.Air, cfg.ExtraDelay)
+
+	buf := jitterbuf.New(cfg.JitterFrames)
+	metaBySeq := map[int]transport.Media{}
+	queue := list.New()
+
+	media := make(chan transport.Media, 64)
+	go func() {
+		for {
+			msg, err := conn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
+			if err != nil {
+				close(media)
+				return
+			}
+			if msg.Type == transport.TypeMedia {
+				media <- msg.Media
+			}
+		}
+	}()
+
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.Now().Add(cfg.Duration)
+	for time.Now().Before(deadline) {
+		select {
+		case m, ok := <-media:
+			if !ok {
+				return stats, nil
+			}
+			metaBySeq[int(m.Seq)] = m
+			buf.Push(jitterbuf.Frame{Seq: int(m.Seq), Samples: nil})
+		case now := <-tick.C:
+			// A starved buffer still emits silence — the speaker's DAC
+			// keeps running, so the overheard waveform clock never
+			// stalls (Ekho's chat timeline depends on that).
+			_, ev := buf.Pop()
+			var out transport.Media
+			if ev == jitterbuf.Waiting {
+				out = transport.Media{ContentStart: -1, Samples: make([]int16, ekho.FrameSamples)}
+			} else {
+				seq := buf.NextSeq() - 1
+				if m, ok := metaBySeq[seq]; ok {
+					delete(metaBySeq, seq)
+					out = m
+					stats.Played++
+				} else {
+					out = transport.Media{ContentStart: -1, Samples: make([]int16, ekho.FrameSamples)}
+				}
+			}
+			queue.PushBack(delayed{at: now.Add(cfg.ExtraDelay), media: out})
+			for e := queue.Front(); e != nil; {
+				d := e.Value.(delayed)
+				if now.Before(d.at) {
+					break
+				}
+				next := e.Next()
+				queue.Remove(e)
+				e = next
+				if err := conn.SendTo(transport.EncodeMedia(d.media), airAddr); err == nil {
+					stats.Forwarded++
+				}
+			}
+		}
+	}
+	logf("done: played %d frames, forwarded %d to the air", stats.Played, stats.Forwarded)
+	return stats, nil
+}
+
+// ClientConfig configures the live controller/headset role.
+type ClientConfig struct {
+	Server       string
+	AirListen    string
+	ClockOffset  time.Duration
+	Attenuation  float64
+	JitterFrames int
+	Duration     time.Duration
+	Logf         Logf
+	// AirReady, if non-nil, receives the bound air address.
+	AirReady chan<- string
+}
+
+// ClientStats summarizes a client run.
+type ClientStats struct {
+	ChatPackets int
+}
+
+// mic emulates a sound card capturing the overheard screen playback: air
+// frames are laid out contiguously on a timeline anchored at the first
+// frame's arrival, and the reader consumes the oldest 20 ms whenever at
+// least that much is buffered (see cmd/ekho-client's history for why
+// free-running either side fragments or starves the waveform).
+type mic struct {
+	mu       sync.Mutex
+	buf      []float64
+	consumed int
+	anchor   time.Time
+	anchored bool
+}
+
+func (m *mic) write(at time.Time, samples []int16, gain float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.anchored {
+		m.anchor = at
+		m.anchored = true
+	}
+	for _, v := range samples {
+		m.buf = append(m.buf, audio.Int16ToFloat(v)*gain)
+	}
+	const maxBacklog = 4 * ekho.SampleRate / 10
+	if len(m.buf) > maxBacklog {
+		drop := len(m.buf) - maxBacklog/2
+		m.buf = m.buf[drop:]
+		m.consumed += drop
+	}
+}
+
+func (m *mic) capture(n int) ([]float64, time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.anchored || len(m.buf) < n {
+		return nil, time.Time{}, false
+	}
+	out := make([]float64, n)
+	copy(out, m.buf[:n])
+	m.buf = m.buf[n:]
+	ts := m.anchor.Add(time.Duration(m.consumed) * time.Second / ekho.SampleRate)
+	m.consumed += n
+	return out, ts, true
+}
+
+// RunClient executes the controller/headset role.
+func RunClient(cfg ClientConfig) (ClientStats, error) {
+	var stats ClientStats
+	logf := cfg.Logf
+	if logf == nil {
+		logf = nopLog
+	}
+	if cfg.Attenuation == 0 {
+		cfg.Attenuation = 0.1
+	}
+	if cfg.JitterFrames == 0 {
+		cfg.JitterFrames = 2
+	}
+	conn, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		return stats, err
+	}
+	defer conn.Close()
+	airConn, err := transport.Listen(cfg.AirListen)
+	if err != nil {
+		return stats, err
+	}
+	defer airConn.Close()
+	if cfg.AirReady != nil {
+		cfg.AirReady <- airConn.LocalAddr().String()
+	}
+	serverAddr, err := transport.ResolveUDP(cfg.Server)
+	if err != nil {
+		return stats, err
+	}
+	if err := conn.SendTo(transport.EncodeHello(transport.Hello{Role: transport.RoleController}), serverAddr); err != nil {
+		return stats, err
+	}
+	logf("controller up; air on %s, clock offset %s", airConn.LocalAddr(), cfg.ClockOffset)
+
+	localMicros := func(t time.Time) int64 { return t.Add(cfg.ClockOffset).UnixMicro() }
+
+	m := &mic{}
+	buf := jitterbuf.New(cfg.JitterFrames)
+	samplesBySeq := map[int]transport.Media{}
+	var mu sync.Mutex
+	var pendingRecords []transport.PlaybackRecord
+
+	media := make(chan transport.Media, 64)
+	go func() {
+		for {
+			msg, err := conn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
+			if err != nil {
+				close(media)
+				return
+			}
+			if msg.Type == transport.TypeMedia {
+				media <- msg.Media
+			}
+		}
+	}()
+	go func() {
+		for {
+			msg, err := airConn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
+			if err != nil {
+				return
+			}
+			if msg.Type == transport.TypeMedia {
+				m.write(time.Now(), msg.Media.Samples, cfg.Attenuation)
+			}
+		}
+	}()
+
+	enc := codec.NewEncoder(codec.SWB32)
+	chatSeq := uint32(0)
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.Now().Add(cfg.Duration)
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+	drain:
+		for {
+			select {
+			case md, ok := <-media:
+				if !ok {
+					break drain
+				}
+				samplesBySeq[int(md.Seq)] = md
+				buf.Push(jitterbuf.Frame{Seq: int(md.Seq), Samples: nil})
+			default:
+				break drain
+			}
+		}
+		if _, ev := buf.Pop(); ev != jitterbuf.Waiting {
+			seq := buf.NextSeq() - 1
+			if md, ok := samplesBySeq[seq]; ok {
+				delete(samplesBySeq, seq)
+				if md.ContentStart >= 0 {
+					mu.Lock()
+					pendingRecords = append(pendingRecords, transport.PlaybackRecord{
+						ContentStart: md.ContentStart,
+						LocalMicros:  localMicros(now),
+						N:            uint16(len(md.Samples)) - md.ContentOff,
+					})
+					mu.Unlock()
+				}
+			}
+		}
+		for burst := 0; burst < 2; burst++ {
+			captured, capturedAt, ok := m.capture(ekho.FrameSamples)
+			if !ok {
+				break
+			}
+			pkt, err := enc.Encode(captured)
+			if err != nil {
+				break
+			}
+			adc := localMicros(capturedAt)
+			mu.Lock()
+			recs := pendingRecords
+			pendingRecords = nil
+			mu.Unlock()
+			chat := transport.Chat{Seq: chatSeq, ADCMicros: adc, Records: recs, Encoded: pkt}
+			chatSeq++
+			_ = conn.SendTo(transport.EncodeChat(chat), serverAddr)
+		}
+	}
+	stats.ChatPackets = int(chatSeq)
+	logf("done: sent %d chat packets", chatSeq)
+	return stats, nil
+}

@@ -1,0 +1,107 @@
+package live
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLiveLoopbackSynchronizes runs all three roles over real UDP loopback
+// sockets for several wall-clock seconds: the server must measure the
+// screen's extra delay and converge after compensating. This is the
+// integration test behind the cmd/ demo binaries.
+func TestLiveLoopbackSynchronizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback test needs ~20 s of wall time")
+	}
+	const runFor = 18 * time.Second
+
+	ready := make(chan net.Addr, 1)
+	airReady := make(chan string, 1)
+
+	var (
+		wg          sync.WaitGroup
+		serverStats ServerStats
+		serverErr   error
+		clientErr   error
+		screenErr   error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serverStats, serverErr = RunServer(ServerConfig{
+			Listen:   "127.0.0.1:0",
+			Duration: runFor,
+			Ready:    ready,
+		})
+	}()
+	serverAddr := (<-ready).String()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, clientErr = RunClient(ClientConfig{
+			Server:      serverAddr,
+			AirListen:   "127.0.0.1:0",
+			ClockOffset: 3200 * time.Millisecond,
+			Duration:    runFor + 2*time.Second,
+			AirReady:    airReady,
+		})
+	}()
+	airAddr := <-airReady
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, screenErr = RunScreen(ScreenConfig{
+			Server:     serverAddr,
+			Air:        airAddr,
+			ExtraDelay: 180 * time.Millisecond,
+			Duration:   runFor + 2*time.Second,
+		})
+	}()
+
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatalf("server: %v", serverErr)
+	}
+	if clientErr != nil {
+		t.Fatalf("client: %v", clientErr)
+	}
+	if screenErr != nil {
+		t.Fatalf("screen: %v", screenErr)
+	}
+
+	if serverStats.Measurements < 5 {
+		t.Fatalf("only %d measurements in %s", serverStats.Measurements, runFor)
+	}
+	if serverStats.Actions < 1 {
+		t.Fatal("no compensation action")
+	}
+	// The startup gap is dominated by the 180 ms extra delay plus jitter
+	// buffers; the first correction must be in that ballpark.
+	if serverStats.FirstActionFrames < 8 || serverStats.FirstActionFrames > 18 {
+		t.Fatalf("first correction %d frames, want ~12 for a ~240 ms gap", serverStats.FirstActionFrames)
+	}
+	// After the correction the residual must sit inside one frame.
+	var tail []float64
+	for i, isd := range serverStats.ISDs {
+		if i >= len(serverStats.ISDs)/2 {
+			tail = append(tail, math.Abs(isd))
+		}
+	}
+	if len(tail) == 0 {
+		t.Fatal("no post-correction measurements")
+	}
+	within := 0
+	for _, v := range tail {
+		if v <= 0.025 {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(len(tail)); frac < 0.7 {
+		t.Fatalf("only %.0f%% of late measurements within 25 ms: %v", frac*100, tail)
+	}
+}

@@ -1,0 +1,287 @@
+package pn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ekho/internal/audio"
+	"ekho/internal/dsp"
+)
+
+func TestSequenceBandLimited(t *testing.T) {
+	seq := NewSequence(1, DefaultLength)
+	if seq.Len() != DefaultLength {
+		t.Fatalf("len %d", seq.Len())
+	}
+	inBand := dsp.BandPower(seq.Samples, audio.SampleRate, BandLowHz, BandHighHz)
+	below := dsp.BandPower(seq.Samples, audio.SampleRate, 0, 5000)
+	above := dsp.BandPower(seq.Samples, audio.SampleRate, 13000, 24000)
+	if inBand <= 0 {
+		t.Fatal("no in-band energy")
+	}
+	if below > inBand/200 || above > inBand/200 {
+		t.Fatalf("out-of-band leakage: below=%g above=%g in=%g", below, above, inBand)
+	}
+	if math.Abs(dsp.RMS(seq.Samples)-1) > 1e-9 {
+		t.Fatalf("RMS %g want 1", dsp.RMS(seq.Samples))
+	}
+}
+
+func TestSequenceDeterministicPerSeed(t *testing.T) {
+	a := NewSequence(42, 4800)
+	b := NewSequence(42, 4800)
+	c := NewSequence(43, 4800)
+	diff := false
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed must match")
+		}
+		if a.Samples[i] != c.Samples[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSequenceSharpAutocorrelation(t *testing.T) {
+	// The whole point of PN markers: the autocorrelation peak must dwarf
+	// all off-peak values (paper contrasts this with game audio).
+	seq := NewSequence(2, DefaultLength)
+	// Correlate the sequence against a padded copy of itself.
+	sig := make([]float64, 3*DefaultLength)
+	copy(sig[DefaultLength:], seq.Samples)
+	z := dsp.CrossCorrelate(sig, seq.Samples)
+	peakIdx := dsp.ArgMaxAbs(z)
+	if peakIdx != DefaultLength {
+		t.Fatalf("peak at %d want %d", peakIdx, DefaultLength)
+	}
+	peak := math.Abs(z[peakIdx])
+	var offMax float64
+	for i, v := range z {
+		if i > peakIdx-100 && i < peakIdx+100 {
+			continue
+		}
+		if a := math.Abs(v); a > offMax {
+			offMax = a
+		}
+	}
+	if peak < 10*offMax {
+		t.Fatalf("autocorrelation not sharp: peak %g offMax %g", peak, offMax)
+	}
+}
+
+func TestAmplitudeTrackerEq2(t *testing.T) {
+	tr := &AmplitudeTracker{Gamma: 0.4}
+	// Window with known band RMS: a 9 kHz sine of amplitude 0.4 has band
+	// RMS ~0.283.
+	win := audio.Tone(audio.SampleRate, 9000, 0.02, 0.4).Samples
+	a1 := tr.Update(win)
+	want := 0.4 / math.Sqrt2
+	if math.Abs(a1-want) > 0.03 {
+		t.Fatalf("first update %g want ~%g", a1, want)
+	}
+	// Silence: a_k decays by gamma each step (first update seeds, so now
+	// the recursion applies).
+	sil := make([]float64, TrackerWindow)
+	a2 := tr.Update(sil)
+	if math.Abs(a2-0.4*a1) > 1e-9 {
+		t.Fatalf("decay: %g want %g", a2, 0.4*a1)
+	}
+	a3 := tr.Update(sil)
+	if math.Abs(a3-0.4*a2) > 1e-9 {
+		t.Fatalf("decay2: %g want %g", a3, 0.4*a2)
+	}
+	if tr.Amplitude() != a3 {
+		t.Fatal("Amplitude() mismatch")
+	}
+}
+
+func TestTrackerConvergesToSteadyState(t *testing.T) {
+	tr := NewAmplitudeTracker()
+	win := audio.Tone(audio.SampleRate, 8000, 0.02, 0.5).Samples
+	var a float64
+	for i := 0; i < 50; i++ {
+		a = tr.Update(win)
+	}
+	want := bandRMS(win)
+	if math.Abs(a-want) > 1e-6 {
+		t.Fatalf("steady state %g want %g", a, want)
+	}
+}
+
+func TestTrackerIgnoresOutOfBandAudio(t *testing.T) {
+	tr := NewAmplitudeTracker()
+	// Loud 500 Hz content has almost no energy in the 6-12 kHz band.
+	win := audio.Tone(audio.SampleRate, 500, 0.02, 0.9).Samples
+	a := tr.Update(win)
+	if a > 0.02 {
+		t.Fatalf("tracker should ignore low-frequency energy, got %g", a)
+	}
+}
+
+func TestMarkInjectionSchedule(t *testing.T) {
+	seq := NewSequence(3, DefaultLength)
+	clip := audio.Tone(audio.SampleRate, 8000, 5.0, 0.3)
+	marked, log := Mark(clip, seq, 0.5)
+	if marked.Len() != clip.Len() {
+		t.Fatalf("length changed: %d vs %d", marked.Len(), clip.Len())
+	}
+	if len(log) != 5 {
+		t.Fatalf("%d markers in 5 s, want 5", len(log))
+	}
+	for i, inj := range log {
+		if inj.StartSample != i*audio.SampleRate {
+			t.Fatalf("marker %d at %d, want %d", i, inj.StartSample, i*audio.SampleRate)
+		}
+		if inj.FrameID != inj.StartSample/TrackerWindow {
+			t.Fatalf("frame id %d inconsistent", inj.FrameID)
+		}
+		if inj.Amplitude <= 0 {
+			t.Fatalf("marker %d amplitude %g", i, inj.Amplitude)
+		}
+	}
+}
+
+func TestMarkedAudioContainsDetectableMarker(t *testing.T) {
+	seq := NewSequence(4, DefaultLength)
+	clip := audio.Tone(audio.SampleRate, 8000, 3.0, 0.3)
+	marked, log := Mark(clip, seq, 0.5)
+	// The difference signal is exactly the injected markers; correlating
+	// the marked signal against the sequence must peak at each injection.
+	z := dsp.CrossCorrelate(marked.Samples, seq.Samples)
+	for _, inj := range log {
+		if inj.StartSample >= len(z) {
+			continue
+		}
+		// Find the local argmax within +-50 samples.
+		best, bestIdx := 0.0, -1
+		for i := maxInt(0, inj.StartSample-50); i < minInt(len(z), inj.StartSample+50); i++ {
+			if a := math.Abs(z[i]); a > best {
+				best, bestIdx = a, i
+			}
+		}
+		if bestIdx != inj.StartSample {
+			t.Fatalf("correlation peak at %d, want %d", bestIdx, inj.StartSample)
+		}
+	}
+}
+
+func TestMarkerAmplitudeTracksGameAudio(t *testing.T) {
+	seq := NewSequence(5, DefaultLength)
+	// Loud then quiet 8 kHz content.
+	loud := audio.Tone(audio.SampleRate, 8000, 2.0, 0.6)
+	quiet := audio.Tone(audio.SampleRate, 8000, 2.0, 0.06)
+	clip := audio.NewBuffer(audio.SampleRate, 0)
+	clip.Samples = append(clip.Samples, loud.Samples...)
+	clip.Samples = append(clip.Samples, quiet.Samples...)
+	_, log := Mark(audio.FromSamples(audio.SampleRate, clip.Samples), seq, 0.5)
+	if len(log) != 4 {
+		t.Fatalf("markers %d", len(log))
+	}
+	// Marker 1 (injected during loud content, tracker warmed) must be
+	// louder than marker 3 (quiet content, tracker settled).
+	if log[1].Amplitude < 5*log[3].Amplitude {
+		t.Fatalf("amplitude not tracking: loud %g quiet %g", log[1].Amplitude, log[3].Amplitude)
+	}
+}
+
+func TestMinAmplitudeFloor(t *testing.T) {
+	seq := NewSequence(6, DefaultLength)
+	silence := audio.NewBuffer(audio.SampleRate, 2*audio.SampleRate)
+	marked, log := Mark(silence, seq, 0.5)
+	if len(log) == 0 {
+		t.Fatal("no markers")
+	}
+	for _, inj := range log {
+		if inj.Amplitude < MinAmplitude*0.5-1e-12 {
+			t.Fatalf("amplitude %g below floor", inj.Amplitude)
+		}
+	}
+	if marked.RMS() == 0 {
+		t.Fatal("marked silence should contain marker energy")
+	}
+}
+
+func TestProcessFramePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInjector(NewSequence(7, 4800), 0.5).ProcessFrame(make([]float64, 100))
+}
+
+func TestConstantMark(t *testing.T) {
+	seq := NewSequence(8, DefaultLength)
+	b, log := ConstantMark(3*audio.SampleRate, seq, 6)
+	if len(log) != 3 { // markers at 0, 1 and 2 s all fit fully in 3 s
+		t.Fatalf("markers %d want 3", len(log))
+	}
+	wantAmp := MinAmplitude * math.Pow(10, 6.0/20)
+	for _, inj := range log {
+		if math.Abs(inj.Amplitude-wantAmp) > 1e-12 {
+			t.Fatalf("amplitude %g want %g", inj.Amplitude, wantAmp)
+		}
+	}
+	if b.RMS() <= 0 {
+		t.Fatal("constant-marked buffer silent")
+	}
+}
+
+func TestInjectionPropertyMarkerEnergyScalesWithC(t *testing.T) {
+	seq := NewSequence(9, DefaultLength)
+	clip := audio.Tone(audio.SampleRate, 8000, 2.0, 0.3)
+	f := func(cSel uint8) bool {
+		c := 0.1 + float64(cSel%50)/10 // 0.1 .. 5.0
+		marked, _ := Mark(clip, seq, c)
+		var diff float64
+		for i := range clip.Samples {
+			d := marked.Samples[i] - clip.Samples[i]
+			diff += d * d
+		}
+		// Energy of injected content scales with c^2; check within 2x.
+		ref, _ := Mark(clip, seq, 0.5)
+		var refDiff float64
+		for i := range clip.Samples {
+			d := ref.Samples[i] - clip.Samples[i]
+			refDiff += d * d
+		}
+		ratio := diff / refDiff
+		want := (c / 0.5) * (c / 0.5)
+		return ratio > want/2 && ratio < want*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkProcessFrame(b *testing.B) {
+	seq := NewSequence(10, DefaultLength)
+	inj := NewInjector(seq, 0.5)
+	frame := audio.Tone(audio.SampleRate, 8000, 0.02, 0.3).Samples
+	work := make([]float64, len(frame))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, frame)
+		inj.ProcessFrame(work)
+	}
+}

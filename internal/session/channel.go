@@ -1,0 +1,164 @@
+package session
+
+import (
+	"math/rand"
+
+	"ekho/internal/acoustic"
+	"ekho/internal/audio"
+	"ekho/internal/dsp"
+)
+
+// airChannel is a streaming-friendly version of acoustic.Channel used by
+// the live session loop: the screen device writes its playback into a
+// shared "air" timeline and the controller microphone reads it back with
+// propagation delay, attenuation, sparse early reflections, microphone
+// coloration and an ambient noise floor.
+//
+// Unlike acoustic.Channel (which filters whole buffers offline with a
+// dense room impulse response), this version uses a handful of discrete
+// echo taps and stateful biquads so per-sample cost stays low across
+// half-hour sessions.
+type airChannel struct {
+	mic          dsp.Chain
+	attenuation  float64
+	propSamples  int
+	taps         []airTap // sparse reflections, delay in samples
+	ambientLevel float64
+	rng          *rand.Rand
+
+	// timeline holds what the microphone membrane receives, indexed by
+	// absolute true-time sample. Writers (screen playback) write ahead;
+	// the capture loop consumes from the front.
+	timeline []float64
+	base     int // absolute sample index of timeline[0]
+	consumed int // absolute sample index up to which audio was captured
+}
+
+type airTap struct {
+	delay int
+	gain  float64
+}
+
+// channelSpec configures the session's acoustic path.
+type channelSpec struct {
+	Mic          acoustic.Microphone
+	DistanceFt   float64
+	Attenuation  float64
+	AmbientLevel float64
+	EchoTaps     int
+	Seed         int64
+}
+
+func defaultChannelSpec() channelSpec {
+	return channelSpec{
+		Mic:          acoustic.XboxHeadset,
+		DistanceFt:   6,
+		Attenuation:  0.1,
+		AmbientLevel: 0.0008,
+		EchoTaps:     6,
+		Seed:         21,
+	}
+}
+
+func newAirChannel(spec channelSpec) *airChannel {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	taps := make([]airTap, 0, spec.EchoTaps)
+	for i := 0; i < spec.EchoTaps; i++ {
+		// Reflections 10-120 ms after the direct path, decaying.
+		delay := int((0.010 + 0.110*rng.Float64()) * audio.SampleRate)
+		gain := 0.25 * (1 - float64(i)/float64(spec.EchoTaps+1))
+		if rng.Intn(2) == 0 {
+			gain = -gain
+		}
+		taps = append(taps, airTap{delay: delay, gain: gain})
+	}
+	att := spec.Attenuation
+	if att == 0 {
+		att = 1
+	}
+	return &airChannel{
+		mic:          micChain(spec.Mic),
+		attenuation:  att,
+		propSamples:  int(spec.DistanceFt / acoustic.SpeedOfSoundFtPerSec * audio.SampleRate),
+		taps:         taps,
+		ambientLevel: spec.AmbientLevel,
+		rng:          rng,
+	}
+}
+
+// micChain mirrors acoustic's microphone responses for streaming use.
+func micChain(m acoustic.Microphone) dsp.Chain {
+	// acoustic exposes responses only via filtering; rebuild the same
+	// cascade here through the public probe-free constructor.
+	return acoustic.MicChain(m, audio.SampleRate)
+}
+
+// setDistanceFt updates the speaker-to-microphone distance (the player
+// moving around the room — the paper's low-frequency ISD variation class).
+// Takes effect for subsequently played audio.
+func (a *airChannel) setDistanceFt(ft float64) {
+	a.propSamples = int(ft / acoustic.SpeedOfSoundFtPerSec * audio.SampleRate)
+}
+
+// play writes the samples the screen speaker emits at absolute true-time
+// sample index playSample into the air timeline (direct path + taps).
+func (a *airChannel) play(playSample int, samples []float64) {
+	arrive := playSample + a.propSamples
+	a.writeScaled(arrive, samples, a.attenuation)
+	for _, tap := range a.taps {
+		a.writeScaled(arrive+tap.delay, samples, a.attenuation*tap.gain)
+	}
+}
+
+func (a *airChannel) writeScaled(at int, samples []float64, gain float64) {
+	if at < a.base {
+		// Can't write into already-consumed air; drop the stale head.
+		cut := a.base - at
+		if cut >= len(samples) {
+			return
+		}
+		samples = samples[cut:]
+		at = a.base
+	}
+	end := at + len(samples)
+	need := end - (a.base + len(a.timeline))
+	if need > 0 {
+		a.timeline = append(a.timeline, make([]float64, need)...)
+	}
+	off := at - a.base
+	for i, v := range samples {
+		a.timeline[off+i] += v * gain
+	}
+}
+
+// capture returns what the microphone recorded for the absolute sample
+// range [from, to): air content colored by the mic response plus ambient
+// noise. Calls must be sequential and non-overlapping.
+func (a *airChannel) capture(from, to int) []float64 {
+	if to <= from {
+		return nil
+	}
+	out := make([]float64, to-from)
+	for i := range out {
+		abs := from + i
+		var v float64
+		if idx := abs - a.base; idx >= 0 && idx < len(a.timeline) {
+			v = a.timeline[idx]
+		}
+		v = a.mic.Process(v)
+		if a.ambientLevel > 0 {
+			v += a.rng.NormFloat64() * a.ambientLevel
+		}
+		out[i] = v
+	}
+	// Trim consumed air to bound memory.
+	if drop := to - a.base; drop > 0 {
+		if drop > len(a.timeline) {
+			drop = len(a.timeline)
+		}
+		a.timeline = a.timeline[drop:]
+		a.base += drop
+	}
+	a.consumed = to
+	return out
+}

@@ -1,0 +1,51 @@
+package session
+
+import (
+	"math"
+
+	"ekho/internal/audio"
+	"ekho/internal/dsp"
+)
+
+// GroundTruth implements the paper's §6.1 measurement methodology for real
+// hardware, reproduced here for validation: "we add a 2KHz to 5KHz chirp to
+// the start of the screen audio, and a 5KHz to 2KHz chirp to the start of
+// the controller audio. A microphone from a third device listens to the
+// playback from both devices, and by correlating each chirp to the
+// recording, we extract the initial ISD, which then synchronizes the two
+// device's logs."
+//
+// The two chirps sweep in opposite directions so they remain separable
+// even when they overlap in time in the third-device recording.
+
+// Chirp parameters from the paper.
+const (
+	chirpLoHz  = 2000.0
+	chirpHiHz  = 5000.0
+	chirpSec   = 0.5
+	chirpLevel = 0.7
+)
+
+// ScreenChirp returns the rising 2→5 kHz chirp prepended to screen audio.
+func ScreenChirp(rate int) *audio.Buffer {
+	return audio.Chirp(rate, chirpLoHz, chirpHiHz, chirpSec, chirpLevel)
+}
+
+// ControllerChirp returns the falling 5→2 kHz chirp prepended to
+// controller audio.
+func ControllerChirp(rate int) *audio.Buffer {
+	return audio.Chirp(rate, chirpHiHz, chirpLoHz, chirpSec, chirpLevel)
+}
+
+// AlignChirps locates both chirps in a third-device recording and returns
+// the initial ISD (screen chirp time minus controller chirp time) in
+// seconds, plus the normalized correlation confidence of the weaker
+// detection. A confidence below ~0.2 means one chirp was not found.
+func AlignChirps(recording *audio.Buffer) (isdSeconds, confidence float64) {
+	up := ScreenChirp(recording.Rate)
+	down := ControllerChirp(recording.Rate)
+	lagUp, confUp := dsp.NormalizedPeakLag(recording.Samples, up.Samples)
+	lagDown, confDown := dsp.NormalizedPeakLag(recording.Samples, down.Samples)
+	conf := math.Min(confUp, confDown)
+	return float64(lagUp-lagDown) / float64(recording.Rate), conf
+}

@@ -1,0 +1,110 @@
+package session
+
+import (
+	"math/rand"
+
+	"ekho/internal/audio"
+)
+
+// Haptic feedback support. The accessory stream carries controller rumble
+// events alongside audio (paper §1: "haptic feedback, such as controller
+// vibrations"); they fire when the content they are anchored to plays at
+// the controller. Users perceive haptic-to-audio skew above ~24 ms and
+// haptic-to-video skew above ~30 ms (§3.1), so once Ekho aligns the
+// accessory audio with the screen, the haptics come along for free — the
+// session measures that skew explicitly.
+
+// HapticEvent is one rumble command anchored to game content.
+type HapticEvent struct {
+	// ContentSample anchors the event to the game-audio timeline.
+	ContentSample int
+	// Intensity is the rumble strength in [0, 1].
+	Intensity float64
+}
+
+// HapticRecord reports when an event actually fired at the controller and
+// how it related to the screen playback of the same content.
+type HapticRecord struct {
+	Event HapticEvent
+	// PlayedAt is the true time the controller fired the rumble.
+	PlayedAt float64
+	// SkewToScreen is (screen heard time of the anchor content) minus
+	// PlayedAt — positive when the rumble leads the picture/sound.
+	SkewToScreen float64
+	// Matched reports whether the screen side was observed for the anchor
+	// (false for content the screen never played, e.g. during loss).
+	Matched bool
+}
+
+// generateHaptics synthesizes rumble events every 0.5-2 s of content —
+// roughly the cadence of weapon fire / impacts in the corpus clips.
+func generateHaptics(seed int64, contentSamples int) []HapticEvent {
+	rng := rand.New(rand.NewSource(seed))
+	var out []HapticEvent
+	pos := int(0.5 * audio.SampleRate)
+	for pos < contentSamples {
+		out = append(out, HapticEvent{
+			ContentSample: pos,
+			Intensity:     0.3 + 0.7*rng.Float64(),
+		})
+		pos += int((0.5 + 1.5*rng.Float64()) * audio.SampleRate)
+	}
+	return out
+}
+
+// hapticTracker matches fired events with screen-heard times. Matching is
+// symmetric: the rumble may fire before or after the screen plays the
+// anchoring content (the whole point of Ekho is to drive that skew to
+// zero), so the tracker keeps a short history of screen heard-ranges and
+// resolves whichever side arrives second.
+type hapticTracker struct {
+	pending []HapticEvent // sorted by content, not yet fired
+	fired   []HapticRecord
+	heard   []contentRecord // recent screen heard ranges
+}
+
+// onAccessoryPlay fires any events anchored within the played content
+// range at the interpolated moment the anchor content plays.
+func (h *hapticTracker) onAccessoryPlay(contentStart, n int, playTime float64) {
+	kept := h.pending[:0]
+	for _, ev := range h.pending {
+		if ev.ContentSample >= contentStart && ev.ContentSample < contentStart+n {
+			at := playTime + float64(ev.ContentSample-contentStart)/audio.SampleRate
+			rec := HapticRecord{Event: ev, PlayedAt: at}
+			// The screen may already have played this content.
+			for _, hr := range h.heard {
+				if ev.ContentSample >= hr.contentStart && ev.ContentSample < hr.contentStart+hr.n {
+					screenAt := hr.time + float64(ev.ContentSample-hr.contentStart)/audio.SampleRate
+					rec.SkewToScreen = screenAt - at
+					rec.Matched = true
+					break
+				}
+			}
+			h.fired = append(h.fired, rec)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	h.pending = kept
+}
+
+// onScreenHeard resolves the skew for fired events whose anchor content
+// the screen just played, and remembers the range for events that have
+// not fired yet.
+func (h *hapticTracker) onScreenHeard(contentStart, n int, heardTime float64) {
+	for i := range h.fired {
+		r := &h.fired[i]
+		if r.Matched {
+			continue
+		}
+		if r.Event.ContentSample >= contentStart && r.Event.ContentSample < contentStart+n {
+			screenAt := heardTime + float64(r.Event.ContentSample-contentStart)/audio.SampleRate
+			r.SkewToScreen = screenAt - r.PlayedAt
+			r.Matched = true
+		}
+	}
+	h.heard = append(h.heard, contentRecord{contentStart: contentStart, n: n, time: heardTime})
+	if len(h.heard) > 120 { // ~2.4 s of history covers any plausible skew
+		h.heard = append([]contentRecord(nil), h.heard[len(h.heard)-120:]...)
+	}
+}

@@ -1,0 +1,123 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"ekho/internal/audio"
+	"ekho/internal/estimator"
+	"ekho/internal/gamesynth"
+	"ekho/internal/pn"
+)
+
+func TestPNSequencesOrthogonalAcrossSeeds(t *testing.T) {
+	// The multi-screen design depends on different seeds being separable:
+	// a detector for seed A must find nothing in audio marked with seed B.
+	seqA := pn.NewSequence(4242, pn.DefaultLength)
+	seqB := pn.NewSequence(9191, pn.DefaultLength)
+	clip := gamesynth.Generate(gamesynth.Catalog()[0], 4)
+	markedB, logB := pn.Mark(clip, seqB, 0.5)
+	markedB.Samples = append(markedB.Samples, make([]float64, audio.SampleRate)...)
+
+	wrong := estimator.DetectMarkers(markedB.Samples, estimator.Config{Seq: seqA})
+	if len(wrong) != 0 {
+		t.Fatalf("seed-A detector found %d markers in seed-B audio", len(wrong))
+	}
+	right := estimator.DetectMarkers(markedB.Samples, estimator.Config{Seq: seqB})
+	if len(right) != len(logB) {
+		t.Fatalf("seed-B detector found %d of %d own markers", len(right), len(logB))
+	}
+}
+
+func TestPNSequencesSeparableWhenMixed(t *testing.T) {
+	// Both screens audible at the microphone simultaneously: each
+	// detector must find exactly its own markers.
+	seqA := pn.NewSequence(4242, pn.DefaultLength)
+	seqB := pn.NewSequence(9191, pn.DefaultLength)
+	clip := gamesynth.Generate(gamesynth.Catalog()[2], 4)
+	markedA, logA := pn.Mark(clip, seqA, 0.5)
+	markedB, logB := pn.Mark(clip, seqB, 0.5)
+	// Screen B shifted by 150 ms (different path latency).
+	mix := audio.NewBuffer(audio.SampleRate, markedA.Len()+audio.SampleRate)
+	mix.MixInto(markedA.Samples, 0, 1)
+	mix.MixInto(markedB.Samples, int(0.15*audio.SampleRate), 1)
+
+	detA := estimator.DetectMarkers(mix.Samples, estimator.Config{Seq: seqA})
+	detB := estimator.DetectMarkers(mix.Samples, estimator.Config{Seq: seqB})
+	if len(detA) < len(logA)-1 {
+		t.Fatalf("A found %d of %d", len(detA), len(logA))
+	}
+	if len(detB) < len(logB)-1 {
+		t.Fatalf("B found %d of %d", len(detB), len(logB))
+	}
+	for _, d := range detA {
+		if d.Sample%audio.SampleRate > 100 && audio.SampleRate-d.Sample%audio.SampleRate > 100 {
+			t.Fatalf("A detection at %d not on its schedule", d.Sample)
+		}
+	}
+	for _, d := range detB {
+		phase := (d.Sample - int(0.15*audio.SampleRate)) % audio.SampleRate
+		if phase > 100 && audio.SampleRate-phase > 100 {
+			t.Fatalf("B detection at %d not on its shifted schedule", d.Sample)
+		}
+	}
+}
+
+func TestMultiScreenSessionConverges(t *testing.T) {
+	sc := DefaultMultiScenario()
+	res := RunMulti(sc)
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces %d", len(res.Traces))
+	}
+	if res.Actions == 0 {
+		t.Fatal("no joint compensation actions")
+	}
+	for i, frac := range res.InSyncFractions {
+		if frac < 0.7 {
+			t.Fatalf("screen %d in-sync fraction %.2f", i, frac)
+		}
+	}
+	// Tail check: both screens within the frame bound near the end.
+	for i, trace := range res.Traces {
+		var tail []float64
+		for _, p := range trace {
+			if p.TimeSec > sc.DurationSec-15 {
+				tail = append(tail, math.Abs(p.ISDSeconds))
+			}
+		}
+		if len(tail) == 0 {
+			t.Fatalf("screen %d has no tail trace", i)
+		}
+		in := 0
+		for _, v := range tail {
+			if v <= 0.012 {
+				in++
+			}
+		}
+		if frac := float64(in) / float64(len(tail)); frac < 0.8 {
+			t.Fatalf("screen %d tail in-sync %.2f", i, frac)
+		}
+	}
+}
+
+func TestMultiScreenThreeDevices(t *testing.T) {
+	sc := DefaultMultiScenario()
+	sc.DurationSec = 50
+	sc.Screens = append(sc.Screens, ScreenSpec{
+		Link:          sc.Screens[0].Link,
+		JitterFrames:  5,
+		DeviceLatency: 0.030,
+		DistanceFt:    9,
+		Attenuation:   0.07,
+		MarkerSeed:    31337,
+	})
+	res := RunMulti(sc)
+	if len(res.Traces) != 3 {
+		t.Fatalf("traces %d", len(res.Traces))
+	}
+	for i, frac := range res.InSyncFractions {
+		if frac < 0.6 {
+			t.Fatalf("screen %d in-sync fraction %.2f with 3 devices", i, frac)
+		}
+	}
+}

@@ -1,0 +1,691 @@
+// Package session orchestrates the full end-to-end system of §6.1: a cloud
+// game server streaming a screen stream (cellular path) and an accessory
+// stream (WiFi path) to two simulated devices, with the player's headset
+// microphone overhearing the screen playback and shipping timestamped chat
+// audio back to the server, where Ekho-Estimator and Ekho-Compensator close
+// the synchronization loop.
+//
+// Everything runs on a single discrete-event scheduler in virtual time, so
+// a 5-minute session completes in seconds of wall time. Ground-truth ISD is
+// computed from the simulator's omniscient bookkeeping (true playback time
+// per content position); the chirp-based methodology the paper uses on real
+// hardware is implemented in groundtruth.go and validated against the
+// bookkeeping in tests.
+//
+// Sign convention: ISD = (true time screen content is heard at the mic) −
+// (true time the same content plays in the headset). Positive ISD means
+// the screen lags and the compensator delays the accessory stream.
+package session
+
+import (
+	"math"
+
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/compensator"
+	"ekho/internal/estimator"
+	"ekho/internal/gamesynth"
+	"ekho/internal/jitterbuf"
+	"ekho/internal/netsim"
+	"ekho/internal/pn"
+	"ekho/internal/vclock"
+)
+
+// StreamID distinguishes the two downlinks in scripted events.
+type StreamID int
+
+// The two downlink streams.
+const (
+	Screen StreamID = iota
+	Accessory
+)
+
+// ScriptedLoss forces the loss of consecutive frames on one downlink at a
+// given session time (Figure 9's deterministic events).
+type ScriptedLoss struct {
+	AtSec  float64
+	Stream StreamID
+	Frames int
+}
+
+// ScriptedThrottle caps a downlink's bandwidth for a period — a cross-
+// traffic burst that builds queueing delay (§3.3's network variation).
+type ScriptedThrottle struct {
+	AtSec        float64
+	DurationSec  float64
+	Stream       StreamID
+	BandwidthBps float64
+}
+
+// Scenario configures one end-to-end run.
+type Scenario struct {
+	Seed        int64
+	DurationSec float64
+	// EkhoEnabled turns the marker/estimation/compensation loop on.
+	EkhoEnabled bool
+	// MarkerC is the relative marker volume (default 0.5).
+	MarkerC float64
+	// ScreenLink / ControllerLink are the downlink configurations.
+	ScreenLink     netsim.LinkConfig
+	ControllerLink netsim.LinkConfig
+	// ControllerUplink carries chat audio to the server.
+	ControllerUplink netsim.LinkConfig
+	// Jitter buffer thresholds in frames.
+	ScreenJitterFrames     int
+	ControllerJitterFrames int
+	// Extra device playback latencies (TV post-processing etc.), seconds.
+	ScreenDeviceLatency     float64
+	ControllerDeviceLatency float64
+	// Clock offsets of the devices' local clocks vs true time (seconds);
+	// Ekho never sees true time, only these local stamps.
+	ScreenClockOffset     float64
+	ControllerClockOffset float64
+	ControllerDriftPPM    float64
+	// Channel is the acoustic path spec; zero value uses defaults.
+	Channel channelSpec
+	// ChatProfile encodes the uplink audio (default SWB32).
+	ChatProfile codec.Profile
+	// ScriptedLosses are deterministic loss events.
+	ScriptedLosses []ScriptedLoss
+	// ScriptedThrottles are deterministic bandwidth caps.
+	ScriptedThrottles []ScriptedThrottle
+	// ClipIndex selects the looping game clip from the corpus.
+	ClipIndex int
+	// SubFrame enables fractional-frame compensation.
+	SubFrame bool
+	// InterpolatedInsert synthesizes inserted delay from the surrounding
+	// audio (PLC-style, §4.4 future work) instead of hard silence.
+	InterpolatedInsert bool
+	// WarmupIgnoreSec excludes the startup transient from summary stats
+	// (the paper ignores the first 5 s).
+	WarmupIgnoreSec float64
+	// WalkToFt, when positive, moves the player linearly from the
+	// channel's starting distance to this distance over the session —
+	// the sound-propagation component of ISD then drifts slowly (§3.3's
+	// low-frequency variation class, ~1 ms per foot).
+	WalkToFt float64
+	// HapticsEnabled generates controller rumble events anchored to game
+	// content and reports their skew to the screen playback.
+	HapticsEnabled bool
+	// MutedScreen enables the §6.5 mode: the screen audio is silenced and
+	// markers are sent at a constant faint amplitude instead of tracking
+	// the (absent) game audio. Video-to-audio sync still converges.
+	MutedScreen bool
+	// MutedMarkerAmpDB is the constant marker amplitude for MutedScreen
+	// (dB above the injector floor; the paper suggests 6-15 dB).
+	MutedMarkerAmpDB float64
+}
+
+// DefaultScenario mirrors the paper's testbed: screen on cellular with a
+// TV-like playback latency, controller on campus WiFi.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Seed:                    1,
+		DurationSec:             120,
+		EkhoEnabled:             true,
+		MarkerC:                 pn.DefaultC,
+		ScreenLink:              netsim.Cellular,
+		ControllerLink:          netsim.WiFi,
+		ControllerUplink:        netsim.Asymmetric(netsim.WiFi, 0.010, 777),
+		ScreenJitterFrames:      4,
+		ControllerJitterFrames:  2,
+		ScreenDeviceLatency:     0.060,
+		ControllerDeviceLatency: 0.002,
+		ScreenClockOffset:       3.7,
+		ControllerClockOffset:   -2.2,
+		ControllerDriftPPM:      25,
+		Channel:                 defaultChannelSpec(),
+		ChatProfile:             codec.SWB32,
+		ClipIndex:               0,
+		WarmupIgnoreSec:         5,
+	}
+}
+
+// ISDPoint is one ground-truth ISD observation.
+type ISDPoint struct {
+	TimeSec    float64
+	ISDSeconds float64
+}
+
+// ActionRecord logs one compensation action.
+type ActionRecord struct {
+	TimeSec float64
+	Action  compensator.Action
+}
+
+// MeasurementRecord logs one Ekho ISD measurement at the server.
+type MeasurementRecord struct {
+	TimeSec    float64
+	ISDSeconds float64
+}
+
+// Result carries everything a session produced.
+type Result struct {
+	Trace        []ISDPoint
+	Measurements []MeasurementRecord
+	Actions      []ActionRecord
+	ScreenLoss   netsim.Stats
+	AccessLoss   netsim.Stats
+	// Haptics holds the fired rumble events and their skew to the screen
+	// (empty unless Scenario.HapticsEnabled).
+	Haptics []HapticRecord
+	// InSyncFraction is the share of post-warmup trace points with
+	// |ISD| <= 10 ms.
+	InSyncFraction float64
+}
+
+// frame is the downlink payload: 20 ms of PCM plus content bookkeeping.
+type frame struct {
+	seq          int
+	contentStart int // content sample index of the first content sample; -1 = all silence
+	contentOff   int // in-frame offset where content begins
+	samples      []float64
+}
+
+// chatPacket is the uplink payload.
+type chatPacket struct {
+	seq     int
+	encoded []byte
+	// adcLocal is the controller-local capture time of the first sample.
+	adcLocal float64
+	// playbackLog piggybacks recent accessory playback records.
+	playbackLog []playbackRecord
+}
+
+// playbackRecord reports that accessory content [contentStart, +n) started
+// playing at the given controller-local time.
+type playbackRecord struct {
+	contentStart int
+	n            int
+	localTime    float64
+}
+
+const frameSec = 0.02
+
+// Run executes the scenario and returns its result.
+func Run(sc Scenario) *Result {
+	if sc.MarkerC == 0 {
+		sc.MarkerC = pn.DefaultC
+	}
+	if sc.ChatProfile.Name == "" {
+		sc.ChatProfile = codec.SWB32
+	}
+	if sc.Channel == (channelSpec{}) {
+		sc.Channel = defaultChannelSpec()
+	}
+	s := &sim{sc: sc}
+	s.setup()
+	s.run()
+	return s.finish()
+}
+
+// contentRecord is a (content range → true/local time) bookkeeping entry.
+type contentRecord struct {
+	contentStart int
+	n            int
+	time         float64 // true time (ground truth) or local time (uplink)
+}
+
+type sim struct {
+	sc    Scenario
+	sched *vclock.Scheduler
+
+	game *audio.Buffer // looping game audio
+
+	// Server side.
+	pnSeq         *pn.Sequence
+	injector      *pn.Injector
+	screenSched   *streamScheduler
+	accessSched   *streamScheduler
+	comp          *compensator.Compensator
+	est           *estimator.Streamer
+	markerPending []int // content positions of markers not yet matched
+	chatNextSeq   int
+	chatDecoder   *codec.Decoder
+	playRecords   []playbackRecord // accessory playback log at the server
+	lastChatEnd   float64
+
+	// Links.
+	screenDown *netsim.Link
+	accessDown *netsim.Link
+	chatUp     *netsim.Link
+
+	// Devices.
+	screenBuf *jitterbuf.Buffer
+	accessBuf *jitterbuf.Buffer
+	screenClk *vclock.Clock
+	accessClk *vclock.Clock
+	air       *airChannel
+	chatEnc   *codec.Encoder
+	chatSeq   int
+	pendLog   []playbackRecord
+
+	// Ground truth bookkeeping (true times).
+	heardRecs  []contentRecord // screen content heard at mic
+	playedRecs []contentRecord // accessory content played
+
+	trace        []ISDPoint
+	measurements []MeasurementRecord
+	actions      []ActionRecord
+	haptics      *hapticTracker
+	mutedPos     int // transmitted screen samples (muted-marker schedule)
+}
+
+func (s *sim) setup() {
+	sc := s.sc
+	s.sched = vclock.NewScheduler()
+	s.game = gamesynth.Generate(gamesynth.Catalog()[sc.ClipIndex%30], gamesynth.ClipSeconds)
+
+	s.pnSeq = pn.NewSequence(4242, pn.DefaultLength)
+	s.injector = pn.NewInjector(s.pnSeq, sc.MarkerC)
+	s.screenSched = newStreamScheduler(s.game)
+	s.accessSched = newStreamScheduler(s.game)
+	if sc.InterpolatedInsert {
+		s.screenSched.enableInterpolation()
+		s.accessSched.enableInterpolation()
+	}
+	s.comp = compensator.New(compensator.Config{SubFrame: sc.SubFrame})
+	s.est = estimator.NewStreamer(estimator.Config{Seq: s.pnSeq})
+	s.chatDecoder = codec.NewDecoder(sc.ChatProfile)
+	s.chatEnc = codec.NewEncoder(sc.ChatProfile)
+
+	s.screenClk = &vclock.Clock{Offset: sc.ScreenClockOffset, DACLatency: sc.ScreenDeviceLatency}
+	s.accessClk = &vclock.Clock{Offset: sc.ControllerClockOffset, DriftPPM: sc.ControllerDriftPPM, DACLatency: sc.ControllerDeviceLatency}
+	s.air = newAirChannel(sc.Channel)
+
+	s.screenBuf = jitterbuf.New(sc.ScreenJitterFrames)
+	s.accessBuf = jitterbuf.New(sc.ControllerJitterFrames)
+	if sc.HapticsEnabled {
+		s.haptics = &hapticTracker{
+			pending: generateHaptics(sc.Seed+500, int(sc.DurationSec*audio.SampleRate)),
+		}
+	}
+
+	sl := sc.ScreenLink
+	sl.Seed += sc.Seed * 101
+	al := sc.ControllerLink
+	al.Seed += sc.Seed * 103
+	ul := sc.ControllerUplink
+	ul.Seed += sc.Seed * 107
+	s.screenDown = netsim.NewLink(sl, s.sched, s.onScreenPacket)
+	s.accessDown = netsim.NewLink(al, s.sched, s.onAccessPacket)
+	s.chatUp = netsim.NewLink(ul, s.sched, s.onChatPacket)
+
+	for _, ev := range sc.ScriptedLosses {
+		ev := ev
+		s.sched.At(vclock.Time(ev.AtSec), func() {
+			switch ev.Stream {
+			case Screen:
+				s.screenDown.ForceDrop(ev.Frames)
+			default:
+				s.accessDown.ForceDrop(ev.Frames)
+			}
+		})
+	}
+	for _, ev := range sc.ScriptedThrottles {
+		ev := ev
+		link := s.accessDown
+		if ev.Stream == Screen {
+			link = s.screenDown
+		}
+		s.sched.At(vclock.Time(ev.AtSec), func() { link.SetBandwidth(ev.BandwidthBps) })
+		s.sched.At(vclock.Time(ev.AtSec+ev.DurationSec), func() { link.SetBandwidth(0) })
+	}
+}
+
+func (s *sim) run() {
+	end := vclock.Time(s.sc.DurationSec)
+	tick := func(start vclock.Time, fn func()) {
+		var loop func()
+		loop = func() {
+			if s.sched.Now() >= end {
+				return
+			}
+			fn()
+			s.sched.After(frameSec, loop)
+		}
+		s.sched.At(start, loop)
+	}
+	tick(0, s.serverProduce)
+	tick(0.011, s.screenPlayout)
+	tick(0.013, s.accessPlayout)
+	tick(0.017, s.captureMic)
+	s.sched.RunUntil(end + 1)
+}
+
+// serverProduce generates one frame for each stream, applies compensation
+// edits and marker injection, and transmits both.
+func (s *sim) serverProduce() {
+	scSamples, scContent, scOff := s.screenSched.next()
+	acSamples, acContent, acOff := s.accessSched.next()
+
+	if s.sc.MutedScreen {
+		// §6.5: the screen's game audio is muted; only faint markers at
+		// a constant amplitude are transmitted (content bookkeeping is
+		// retained — it represents the on-screen video frames).
+		for i := range scSamples {
+			scSamples[i] = 0
+		}
+		if s.sc.EkhoEnabled {
+			if s.injectMutedMarker(scSamples) {
+				mc := scContent
+				if mc < 0 {
+					mc = s.screenSched.nextContent()
+				}
+				s.markerPending = append(s.markerPending, mc)
+			}
+		}
+	} else if s.sc.EkhoEnabled {
+		pre := len(s.injector.Log())
+		s.injector.ProcessFrame(scSamples)
+		if len(s.injector.Log()) > pre {
+			// A marker started at this frame's first sample. Its content
+			// identity: the frame's first content sample, or — for an
+			// all-silence frame — the upcoming content position.
+			mc := scContent
+			if mc < 0 {
+				mc = s.screenSched.nextContent()
+			}
+			s.markerPending = append(s.markerPending, mc)
+		}
+	}
+	s.screenDown.Send(frame{seq: s.screenSched.seq, contentStart: scContent, contentOff: scOff, samples: scSamples})
+	s.accessDown.Send(frame{seq: s.accessSched.seq, contentStart: acContent, contentOff: acOff, samples: acSamples})
+	s.screenSched.seq++
+	s.accessSched.seq++
+}
+
+func (s *sim) onScreenPacket(p netsim.Packet) {
+	f := p.Payload.(frame)
+	s.screenBuf.Push(jitterbuf.Frame{Seq: f.seq, Samples: packFrame(f)})
+}
+
+func (s *sim) onAccessPacket(p netsim.Packet) {
+	f := p.Payload.(frame)
+	s.accessBuf.Push(jitterbuf.Frame{Seq: f.seq, Samples: packFrame(f)})
+}
+
+// packFrame/unpackFrame smuggle content bookkeeping through the jitter
+// buffer (which carries []float64): two trailing sentinel values.
+func packFrame(f frame) []float64 {
+	out := make([]float64, len(f.samples)+2)
+	copy(out, f.samples)
+	out[len(f.samples)] = float64(f.contentStart)
+	out[len(f.samples)+1] = float64(f.contentOff)
+	return out
+}
+
+func unpackFrame(s []float64) (samples []float64, contentStart, contentOff int) {
+	if len(s) < 2 {
+		return nil, -1, 0
+	}
+	return s[:len(s)-2], int(s[len(s)-2]), int(s[len(s)-1])
+}
+
+// screenPlayout pops one frame from the screen jitter buffer and plays it
+// through the speaker into the air channel.
+func (s *sim) screenPlayout() {
+	raw, ev := s.screenBuf.Pop()
+	if ev == jitterbuf.Waiting {
+		return
+	}
+	if s.sc.WalkToFt > 0 {
+		frac := float64(s.sched.Now()) / s.sc.DurationSec
+		if frac > 1 {
+			frac = 1
+		}
+		ft := s.sc.Channel.DistanceFt + (s.sc.WalkToFt-s.sc.Channel.DistanceFt)*frac
+		s.air.setDistanceFt(ft)
+	}
+	samples, content, off := unpackFrame(raw)
+	playTime := float64(s.sched.Now()) + s.sc.ScreenDeviceLatency
+	playSample := int(math.Round(playTime * audio.SampleRate))
+	s.air.play(playSample, samples)
+	if content >= 0 {
+		heardAt := playTime + (float64(off)+float64(s.air.propSamples))/audio.SampleRate
+		rec := contentRecord{contentStart: content, n: len(samples) - off, time: heardAt}
+		s.heardRecs = append(s.heardRecs, rec)
+		s.matchTrace(rec, s.playedRecs)
+		if s.haptics != nil {
+			s.haptics.onScreenHeard(content, len(samples)-off, heardAt)
+		}
+	}
+}
+
+// accessPlayout pops one frame from the accessory jitter buffer, plays it
+// to the headset and logs the playback record for the uplink.
+func (s *sim) accessPlayout() {
+	raw, ev := s.accessBuf.Pop()
+	if ev == jitterbuf.Waiting {
+		return
+	}
+	samples, content, off := unpackFrame(raw)
+	playTrue := float64(s.sched.Now()) + s.sc.ControllerDeviceLatency + float64(off)/audio.SampleRate
+	if content >= 0 {
+		n := len(samples) - off
+		rec := contentRecord{contentStart: content, n: n, time: playTrue}
+		s.playedRecs = append(s.playedRecs, rec)
+		local := float64(s.accessClk.Local(vclock.Time(playTrue)))
+		s.pendLog = append(s.pendLog, playbackRecord{contentStart: content, n: n, localTime: local})
+		s.matchTraceReverse(rec, s.heardRecs)
+		if s.haptics != nil {
+			s.haptics.onAccessoryPlay(content, n, playTrue)
+		}
+	}
+}
+
+// captureMic reads 20 ms from the air channel, encodes it and uplinks it.
+func (s *sim) captureMic() {
+	now := float64(s.sched.Now())
+	to := int(math.Round(now * audio.SampleRate))
+	from := to - audio.FrameSamples
+	if from < 0 {
+		return
+	}
+	samples := s.air.capture(from, to)
+	pkt, err := s.chatEnc.Encode(samples)
+	if err != nil {
+		panic("session: chat encode: " + err.Error())
+	}
+	adcTrue := float64(from) / audio.SampleRate
+	adcLocal := float64(s.accessClk.StampADC(vclock.Time(adcTrue)))
+	cp := chatPacket{seq: s.chatSeq, encoded: pkt, adcLocal: adcLocal, playbackLog: s.pendLog}
+	s.chatSeq++
+	s.pendLog = nil
+	s.chatUp.Send(cp)
+}
+
+// onChatPacket is the server-side uplink handler.
+func (s *sim) onChatPacket(p netsim.Packet) {
+	if !s.sc.EkhoEnabled {
+		return
+	}
+	cp := p.Payload.(chatPacket)
+	s.playRecords = append(s.playRecords, cp.playbackLog...)
+	s.matchMarkers()
+
+	// Uplink loss: fill gaps with concealment to keep the timeline aligned.
+	for cp.seq > s.chatNextSeq {
+		s.feedChat(s.chatDecoder.Conceal(), math.NaN())
+		s.chatNextSeq++
+	}
+	if cp.seq < s.chatNextSeq {
+		return // stale duplicate
+	}
+	decoded, err := s.chatDecoder.Decode(cp.encoded)
+	if err != nil {
+		decoded = s.chatDecoder.Conceal()
+	}
+	// Decoder output lags capture by one codec hop; correct the stamp.
+	ts := cp.adcLocal - float64(s.sc.ChatProfile.Delay())/audio.SampleRate
+	s.feedChat(decoded, ts)
+	s.chatNextSeq++
+}
+
+// feedChat pushes decoded chat audio into the streaming estimator and acts
+// on any resulting measurements. NaN timestamps (concealed gaps) continue
+// the running timeline.
+func (s *sim) feedChat(samples []float64, startLocal float64) {
+	if math.IsNaN(startLocal) {
+		startLocal = s.lastChatEnd
+	}
+	ms := s.est.AddChat(samples, startLocal)
+	s.lastChatEnd = startLocal + float64(len(samples))/audio.SampleRate
+	now := float64(s.sched.Now())
+	for _, m := range ms {
+		s.measurements = append(s.measurements, MeasurementRecord{TimeSec: now, ISDSeconds: m.ISDSeconds})
+		if act := s.comp.Offer(now, m.ISDSeconds); act != nil {
+			s.applyAction(*act)
+			s.actions = append(s.actions, ActionRecord{TimeSec: now, Action: *act})
+		}
+	}
+}
+
+// matchMarkers converts pending marker content positions into accessory
+// local marker times once a playback record covering them arrives.
+func (s *sim) matchMarkers() {
+	if len(s.markerPending) == 0 {
+		return
+	}
+	remaining := s.markerPending[:0]
+	for _, mc := range s.markerPending {
+		matched := false
+		for _, r := range s.playRecords {
+			if mc >= r.contentStart && mc < r.contentStart+r.n {
+				t := r.localTime + float64(mc-r.contentStart)/audio.SampleRate
+				s.est.AddMarkerTime(t)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			remaining = append(remaining, mc)
+		}
+	}
+	s.markerPending = append([]int(nil), remaining...)
+	// Prune consumed playback records to bound memory: keep the last 300.
+	if len(s.playRecords) > 600 {
+		s.playRecords = append([]playbackRecord(nil), s.playRecords[len(s.playRecords)-300:]...)
+	}
+}
+
+// injectMutedMarker mixes the PN sequence at a constant amplitude into the
+// outgoing muted-screen frame; markers start every second of transmitted
+// stream. Reports whether a marker started at this frame's first sample.
+func (s *sim) injectMutedMarker(frame []float64) bool {
+	ampDB := s.sc.MutedMarkerAmpDB
+	if ampDB == 0 {
+		ampDB = 9
+	}
+	amp := pn.MinAmplitude * math.Pow(10, ampDB/20)
+	started := s.mutedPos%audio.SampleRate == 0
+	w := s.pnSeq.Samples
+	for i := range frame {
+		pos := s.mutedPos + i
+		mi := pos % audio.SampleRate
+		if mi < len(w) {
+			frame[i] += amp * w[mi]
+		}
+	}
+	s.mutedPos += len(frame)
+	return started
+}
+
+// applyAction routes a compensation action to the owning stream scheduler.
+func (s *sim) applyAction(a compensator.Action) {
+	if a.Stream == compensator.ScreenStream {
+		s.screenSched.apply(a)
+		return
+	}
+	s.accessSched.apply(a)
+}
+
+// matchTrace emits a ground-truth ISD point when a newly heard screen
+// record overlaps an already-played accessory record.
+func (s *sim) matchTrace(h contentRecord, played []contentRecord) {
+	for _, p := range played {
+		if s.emitOverlap(h, p) {
+			break
+		}
+	}
+	s.pruneRecs()
+}
+
+// matchTraceReverse is the mirror: a newly played accessory record paired
+// against already-heard screen records (the screen-leads case).
+func (s *sim) matchTraceReverse(p contentRecord, heard []contentRecord) {
+	for _, h := range heard {
+		if s.emitOverlap(h, p) {
+			break
+		}
+	}
+	s.pruneRecs()
+}
+
+// emitOverlap emits one ISD point if the records share content.
+func (s *sim) emitOverlap(h, p contentRecord) bool {
+	lo := maxInt(h.contentStart, p.contentStart)
+	hi := minInt(h.contentStart+h.n, p.contentStart+p.n)
+	if lo >= hi {
+		return false
+	}
+	heardAt := h.time + float64(lo-h.contentStart)/audio.SampleRate
+	playedAt := p.time + float64(lo-p.contentStart)/audio.SampleRate
+	s.trace = append(s.trace, ISDPoint{
+		TimeSec:    float64(s.sched.Now()),
+		ISDSeconds: heardAt - playedAt,
+	})
+	return true
+}
+
+// pruneRecs bounds the bookkeeping windows: ~1.2 s of heard records and
+// ~2.4 s of played records cover any plausible ISD.
+func (s *sim) pruneRecs() {
+	if len(s.heardRecs) > 60 {
+		s.heardRecs = append([]contentRecord(nil), s.heardRecs[len(s.heardRecs)-60:]...)
+	}
+	if len(s.playedRecs) > 120 {
+		s.playedRecs = append([]contentRecord(nil), s.playedRecs[len(s.playedRecs)-120:]...)
+	}
+}
+
+func (s *sim) finish() *Result {
+	res := &Result{
+		Trace:        s.trace,
+		Measurements: s.measurements,
+		Actions:      s.actions,
+		ScreenLoss:   s.screenDown.Stats(),
+		AccessLoss:   s.accessDown.Stats(),
+	}
+	if s.haptics != nil {
+		res.Haptics = s.haptics.fired
+	}
+	inSync, total := 0, 0
+	for _, p := range res.Trace {
+		if p.TimeSec < s.sc.WarmupIgnoreSec {
+			continue
+		}
+		total++
+		if math.Abs(p.ISDSeconds) <= 0.010 {
+			inSync++
+		}
+	}
+	if total > 0 {
+		res.InSyncFraction = float64(inSync) / float64(total)
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

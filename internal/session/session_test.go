@@ -1,0 +1,315 @@
+package session
+
+import (
+	"math"
+	"testing"
+
+	"ekho/internal/audio"
+	"ekho/internal/compensator"
+)
+
+// shortScenario is a fast configuration for unit tests.
+func shortScenario() Scenario {
+	sc := DefaultScenario()
+	sc.DurationSec = 40
+	return sc
+}
+
+func TestSessionConvergesWithEkho(t *testing.T) {
+	res := Run(shortScenario())
+	if len(res.Trace) == 0 {
+		t.Fatal("no ISD trace")
+	}
+	if len(res.Measurements) == 0 {
+		t.Fatal("no Ekho measurements")
+	}
+	if len(res.Actions) == 0 {
+		t.Fatal("no compensation actions — streams start hundreds of ms apart")
+	}
+	// After convergence (last 10 s) the ISD should be inside the
+	// whole-frame bound (±10 ms) most of the time.
+	var tail []float64
+	for _, p := range res.Trace {
+		if p.TimeSec > 30 {
+			tail = append(tail, math.Abs(p.ISDSeconds))
+		}
+	}
+	if len(tail) == 0 {
+		t.Fatal("no tail trace")
+	}
+	inSync := 0
+	for _, v := range tail {
+		if v <= 0.010 {
+			inSync++
+		}
+	}
+	frac := float64(inSync) / float64(len(tail))
+	if frac < 0.8 {
+		t.Fatalf("tail in-sync fraction %.2f, want >= 0.8", frac)
+	}
+}
+
+func TestSessionWithoutEkhoStaysOutOfSync(t *testing.T) {
+	sc := shortScenario()
+	sc.EkhoEnabled = false
+	res := Run(sc)
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace")
+	}
+	if len(res.Measurements) != 0 || len(res.Actions) != 0 {
+		t.Fatal("Ekho OFF must not measure or act")
+	}
+	// The latency gap (cellular + TV latency vs WiFi) keeps ISD far from
+	// zero the whole session (paper: never below 50 ms).
+	for _, p := range res.Trace {
+		if p.TimeSec > 5 && math.Abs(p.ISDSeconds) < 0.050 {
+			t.Fatalf("ISD %g at %gs without Ekho — should never approach sync", p.ISDSeconds, p.TimeSec)
+		}
+	}
+	if res.InSyncFraction != 0 {
+		t.Fatalf("in-sync fraction %g without Ekho", res.InSyncFraction)
+	}
+}
+
+func TestSessionMeasurementsMatchGroundTruth(t *testing.T) {
+	// Every Ekho measurement taken outside compensation transients must
+	// agree with the ground-truth trace at that moment to a few ms.
+	res := Run(shortScenario())
+	// Build a lookup of ground truth by time.
+	gt := func(at float64) (float64, bool) {
+		best, bestDt := 0.0, math.Inf(1)
+		for _, p := range res.Trace {
+			if dt := math.Abs(p.TimeSec - at); dt < bestDt {
+				bestDt, best = dt, p.ISDSeconds
+			}
+		}
+		return best, bestDt < 0.5
+	}
+	checked := 0
+	for _, m := range res.Measurements {
+		// Skip measurements within 6 s of any action (transients).
+		inTransient := false
+		for _, a := range res.Actions {
+			if m.TimeSec >= a.TimeSec-2 && m.TimeSec <= a.TimeSec+8 {
+				inTransient = true
+				break
+			}
+		}
+		if inTransient {
+			continue
+		}
+		want, ok := gt(m.TimeSec)
+		if !ok {
+			continue
+		}
+		checked++
+		if math.Abs(m.ISDSeconds-want) > 0.005 {
+			t.Fatalf("measurement %g at %gs disagrees with ground truth %g",
+				m.ISDSeconds, m.TimeSec, want)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no steady-state measurements checked")
+	}
+}
+
+func TestScriptedLossCausesResync(t *testing.T) {
+	sc := shortScenario()
+	sc.DurationSec = 60
+	// Clean links so only the scripted loss perturbs the session. A
+	// deeper controller buffer guarantees frames are queued at the loss
+	// tick, so playback jumps ahead (an empty buffer would rebuffer and
+	// self-heal instead — both behaviours exist in the wild).
+	sc.ScreenLink.LossProb = 0
+	sc.ControllerLink.LossProb = 0
+	sc.ControllerUplink.LossProb = 0
+	sc.ControllerJitterFrames = 3
+	sc.ScriptedLosses = []ScriptedLoss{{AtSec: 35, Stream: Accessory, Frames: 1}}
+	res := Run(sc)
+	// Find the ISD right before the loss and shortly after.
+	mean := func(lo, hi float64) float64 {
+		var s float64
+		n := 0
+		for _, p := range res.Trace {
+			if p.TimeSec >= lo && p.TimeSec <= hi {
+				s += p.ISDSeconds
+				n++
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return s / float64(n)
+	}
+	// The post-loss window closes before the (fast) incremental estimator
+	// can drive a correction.
+	before := mean(30, 34.5)
+	after := mean(35.3, 36.2)
+	if math.IsNaN(before) || math.IsNaN(after) {
+		t.Fatal("missing trace segments")
+	}
+	// Losing one accessory frame advances the accessory playback by
+	// 20 ms → ISD jumps up by ~20 ms.
+	jump := after - before
+	if jump < 0.012 || jump > 0.028 {
+		t.Fatalf("loss jump %g want ~0.020", jump)
+	}
+	// And Ekho must bring it back under 10 ms within ~10 s.
+	end := mean(50, 60)
+	if math.Abs(end) > 0.010 {
+		t.Fatalf("post-loss resync failed: ISD %g at end", end)
+	}
+}
+
+func TestInitialCorrectionMagnitude(t *testing.T) {
+	// The startup gap (cellular + jitter buffer + TV latency vs WiFi)
+	// must be corrected by inserting frames into the accessory stream.
+	res := Run(shortScenario())
+	if len(res.Actions) == 0 {
+		t.Fatal("no actions")
+	}
+	first := res.Actions[0]
+	if first.Action.Stream != compensator.AccessoryStream {
+		t.Fatalf("first action on %v, want accessory (screen lags)", first.Action.Stream)
+	}
+	if first.Action.InsertFrames < 5 {
+		t.Fatalf("first correction only %d frames — startup gap should be large", first.Action.InsertFrames)
+	}
+	// The correction should happen within the estimator warm-up (2-8 s).
+	if first.TimeSec > 10 {
+		t.Fatalf("first correction at %gs, too slow", first.TimeSec)
+	}
+}
+
+func TestSubFrameModeTightensSync(t *testing.T) {
+	coarse := shortScenario()
+	fine := shortScenario()
+	fine.SubFrame = true
+	rc := Run(coarse)
+	rf := Run(fine)
+	tailErr := func(r *Result) float64 {
+		var s float64
+		n := 0
+		for _, p := range r.Trace {
+			if p.TimeSec > 25 {
+				s += math.Abs(p.ISDSeconds)
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	ce, fe := tailErr(rc), tailErr(rf)
+	if fe > ce+0.002 {
+		t.Fatalf("sub-frame mode should not be worse: %g vs %g", fe, ce)
+	}
+	if fe > 0.005 {
+		t.Fatalf("sub-frame steady error %g want < 5 ms", fe)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	sc := shortScenario()
+	sc.DurationSec = 20
+	a := Run(sc)
+	b := Run(sc)
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatal("nondeterministic trace length")
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatal("nondeterministic trace")
+		}
+	}
+}
+
+func TestChirpGroundTruthAgreesWithBookkeeping(t *testing.T) {
+	// Validate the §6.1 chirp methodology: build a synthetic third-device
+	// recording with both chirps at a known offset and check AlignChirps.
+	rec := audio.NewBuffer(audio.SampleRate, 4*audio.SampleRate)
+	up := ScreenChirp(audio.SampleRate)
+	down := ControllerChirp(audio.SampleRate)
+	const isdMs = 73.0
+	ctrlAt := audio.SampleRate / 2
+	screenAt := ctrlAt + int(isdMs/1000*audio.SampleRate)
+	rec.MixInto(down.Samples, ctrlAt, 0.8)
+	rec.MixInto(up.Samples, screenAt, 0.6)
+	// Light noise.
+	for i := range rec.Samples {
+		rec.Samples[i] += 0.01 * math.Sin(float64(i))
+	}
+	isd, conf := AlignChirps(rec)
+	if conf < 0.2 {
+		t.Fatalf("confidence %g too low", conf)
+	}
+	if math.Abs(isd-isdMs/1000) > 0.001 {
+		t.Fatalf("chirp ISD %g want %g", isd, isdMs/1000)
+	}
+}
+
+func TestStreamSchedulerContentTracking(t *testing.T) {
+	game := audio.FromSamples(audio.SampleRate, make([]float64, 4800))
+	for i := range game.Samples {
+		game.Samples[i] = float64(i % 4800)
+	}
+	st := newStreamScheduler(game)
+	f, c, off := st.next()
+	if c != 0 || off != 0 || f[0] != 0 || f[959] != 959 {
+		t.Fatalf("first frame: c=%d off=%d", c, off)
+	}
+	// Insert one frame of silence.
+	st.apply(compensator.Action{InsertFrames: 1})
+	f, c, _ = st.next()
+	if c != -1 || f[0] != 0 {
+		t.Fatalf("silence frame: c=%d", c)
+	}
+	f, c, off = st.next()
+	if c != 960 || off != 0 || f[0] != 960 {
+		t.Fatalf("content resumes: c=%d f0=%g", c, f[0])
+	}
+	// Skip reverts pending silence first.
+	st.apply(compensator.Action{InsertFrames: 2})
+	st.apply(compensator.Action{SkipFrames: 1})
+	f, c, _ = st.next()
+	if c != -1 {
+		t.Fatal("one silence frame should remain")
+	}
+	_, c, _ = st.next()
+	if c != 1920 {
+		t.Fatalf("content after revert: c=%d want 1920", c)
+	}
+	// Skip without pending silence drops content.
+	st.apply(compensator.Action{SkipFrames: 1})
+	f, c, _ = st.next()
+	if c != 1920+2*960 {
+		t.Fatalf("content after drop: c=%d want %d", c, 1920+2*960)
+	}
+	// Content loops over the game buffer (position 3840 % 4800 = 3840).
+	if f[0] != float64((1920+2*960)%4800) {
+		t.Fatalf("loop value %g", f[0])
+	}
+}
+
+func TestStreamSchedulerSubFrame(t *testing.T) {
+	game := audio.FromSamples(audio.SampleRate, make([]float64, 9600))
+	for i := range game.Samples {
+		game.Samples[i] = 1
+	}
+	st := newStreamScheduler(game)
+	st.apply(compensator.Action{InsertSamples: 100})
+	f, c, off := st.next()
+	if off != 100 || c != 0 {
+		t.Fatalf("off=%d c=%d", off, c)
+	}
+	for i := 0; i < 100; i++ {
+		if f[i] != 0 {
+			t.Fatal("leading silence expected")
+		}
+	}
+	if f[100] != 1 {
+		t.Fatal("content should follow silence")
+	}
+	// Position advanced by only 860 content samples.
+	if st.nextContent() != 860 {
+		t.Fatalf("pos %d want 860", st.nextContent())
+	}
+}

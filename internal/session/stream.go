@@ -1,0 +1,83 @@
+package session
+
+import (
+	"ekho/internal/audio"
+	"ekho/internal/compensator"
+)
+
+// streamScheduler produces the per-tick downlink frames for one stream,
+// tracking the mapping between transmitted frames and game-content
+// positions. Compensation actions (silence insertion, content skip) are
+// applied here; content positions are "unlooped" sample indices into an
+// infinite repetition of the game clip.
+type streamScheduler struct {
+	game        *audio.Buffer
+	pos         int // next content sample to transmit
+	silenceDebt int // gap samples still to insert
+	seq         int // next packet sequence number
+	// interp, when set, synthesizes inserted gaps from the surrounding
+	// audio (PLC-style) instead of hard silence — the §4.4 future-work
+	// enhancement.
+	interp *compensator.Interpolator
+}
+
+func newStreamScheduler(game *audio.Buffer) *streamScheduler {
+	return &streamScheduler{game: game}
+}
+
+// enableInterpolation switches inserted delay from silence to PLC-style
+// synthesized audio.
+func (st *streamScheduler) enableInterpolation() {
+	st.interp = compensator.NewInterpolator()
+}
+
+// apply registers a compensation action with this stream.
+func (st *streamScheduler) apply(a compensator.Action) {
+	st.silenceDebt += a.InsertFrames*audio.FrameSamples + a.InsertSamples
+	skip := a.SkipFrames*audio.FrameSamples + a.SkipSamples
+	if skip > 0 {
+		// Skipping drains pending silence first (reverting an earlier
+		// correction); any remainder drops content.
+		if st.silenceDebt >= skip {
+			st.silenceDebt -= skip
+			skip = 0
+		} else {
+			skip -= st.silenceDebt
+			st.silenceDebt = 0
+		}
+		st.pos += skip
+	}
+}
+
+// next returns the next 20 ms frame along with the content position of its
+// first content sample (-1 for all-gap frames) and the in-frame offset
+// where content begins. Gap audio is silence by default, or synthesized
+// continuation when interpolation is enabled.
+func (st *streamScheduler) next() (samples []float64, contentStart, contentOffset int) {
+	f := make([]float64, audio.FrameSamples)
+	if st.silenceDebt >= audio.FrameSamples {
+		st.silenceDebt -= audio.FrameSamples
+		if st.interp != nil {
+			copy(f, st.interp.Synthesize(audio.FrameSamples))
+		}
+		return f, -1, 0
+	}
+	off := st.silenceDebt
+	st.silenceDebt = 0
+	if off > 0 && st.interp != nil {
+		copy(f[:off], st.interp.Synthesize(off))
+	}
+	start := st.pos
+	for i := off; i < audio.FrameSamples; i++ {
+		f[i] = st.game.Samples[st.pos%st.game.Len()]
+		st.pos++
+	}
+	if st.interp != nil {
+		st.interp.Observe(f[off:])
+	}
+	return f, start, off
+}
+
+// nextContent returns the content position the next content sample will
+// have (used to tie markers that begin during inserted silence).
+func (st *streamScheduler) nextContent() int { return st.pos }

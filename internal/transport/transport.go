@@ -1,0 +1,282 @@
+// Package transport implements Ekho's wire protocol over real UDP sockets
+// (net.PacketConn) for the live demo binaries: media frames downstream,
+// chat audio plus dual timestamps upstream, and a small control channel.
+// It mirrors the in-process simulator's payloads so the same server logic
+// drives both (the simulator exercises the algorithms at scale; this
+// package proves the system runs over an actual network stack).
+//
+// Wire format (all little-endian):
+//
+//	header:  magic u16 | type u8 | flags u8 | seq u32
+//	media:   header | contentStart i64 | contentOff u16 | nSamples u16 | samples i16...
+//	chat:    header | adcLocalMicros i64 | nRecords u16 |
+//	         records {contentStart i64, localMicros i64, n u16}... |
+//	         nEncoded u16 | encoded bytes...
+//	hello:   header | role u8
+//	marker:  header | contentStart i64   (server -> estimator internal use)
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Magic identifies Ekho datagrams.
+const Magic = 0xE509
+
+// PacketType enumerates wire message kinds.
+type PacketType uint8
+
+// Wire message kinds.
+const (
+	TypeHello PacketType = iota + 1
+	TypeMedia
+	TypeChat
+	TypeBye
+)
+
+// Role identifies an endpoint in Hello packets.
+type Role uint8
+
+// Endpoint roles.
+const (
+	RoleScreen Role = iota + 1
+	RoleController
+)
+
+// Media is one downlink audio frame.
+type Media struct {
+	Seq          uint32
+	ContentStart int64 // -1 for inserted silence
+	ContentOff   uint16
+	Samples      []int16
+}
+
+// PlaybackRecord reports accessory playback timing (§5.1: the client sends
+// back playback timestamps T_j^accessory).
+type PlaybackRecord struct {
+	ContentStart int64
+	LocalMicros  int64
+	N            uint16
+}
+
+// Chat is one uplink packet: encoded microphone audio with capture
+// timestamp and piggybacked playback records.
+type Chat struct {
+	Seq       uint32
+	ADCMicros int64
+	Records   []PlaybackRecord
+	Encoded   []byte
+}
+
+// Hello announces an endpoint and its role.
+type Hello struct {
+	Seq  uint32
+	Role Role
+}
+
+// ErrBadPacket reports an undecodable datagram.
+var ErrBadPacket = errors.New("transport: bad packet")
+
+// maxDatagram bounds decode allocations.
+const maxDatagram = 64 * 1024
+
+func header(t PacketType, seq uint32) []byte {
+	b := make([]byte, 8, 64)
+	binary.LittleEndian.PutUint16(b[0:], Magic)
+	b[2] = byte(t)
+	b[3] = 0
+	binary.LittleEndian.PutUint32(b[4:], seq)
+	return b
+}
+
+func parseHeader(b []byte) (PacketType, uint32, []byte, error) {
+	if len(b) < 8 || binary.LittleEndian.Uint16(b[0:]) != Magic {
+		return 0, 0, nil, ErrBadPacket
+	}
+	return PacketType(b[2]), binary.LittleEndian.Uint32(b[4:]), b[8:], nil
+}
+
+// EncodeMedia serializes a media frame.
+func EncodeMedia(m Media) []byte {
+	b := header(TypeMedia, m.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.ContentStart))
+	b = binary.LittleEndian.AppendUint16(b, m.ContentOff)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Samples)))
+	for _, s := range m.Samples {
+		b = binary.LittleEndian.AppendUint16(b, uint16(s))
+	}
+	return b
+}
+
+// DecodeMedia parses a media frame body (after the header).
+func DecodeMedia(seq uint32, body []byte) (Media, error) {
+	if len(body) < 12 {
+		return Media{}, ErrBadPacket
+	}
+	m := Media{Seq: seq}
+	m.ContentStart = int64(binary.LittleEndian.Uint64(body[0:]))
+	m.ContentOff = binary.LittleEndian.Uint16(body[8:])
+	n := int(binary.LittleEndian.Uint16(body[10:]))
+	body = body[12:]
+	if len(body) < 2*n {
+		return Media{}, fmt.Errorf("%w: media wants %d samples, has %d bytes", ErrBadPacket, n, len(body))
+	}
+	m.Samples = make([]int16, n)
+	for i := 0; i < n; i++ {
+		m.Samples[i] = int16(binary.LittleEndian.Uint16(body[2*i:]))
+	}
+	return m, nil
+}
+
+// EncodeChat serializes a chat packet.
+func EncodeChat(c Chat) []byte {
+	b := header(TypeChat, c.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.ADCMicros))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Records)))
+	for _, r := range c.Records {
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.ContentStart))
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.LocalMicros))
+		b = binary.LittleEndian.AppendUint16(b, r.N)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Encoded)))
+	b = append(b, c.Encoded...)
+	return b
+}
+
+// DecodeChat parses a chat packet body.
+func DecodeChat(seq uint32, body []byte) (Chat, error) {
+	if len(body) < 10 {
+		return Chat{}, ErrBadPacket
+	}
+	c := Chat{Seq: seq}
+	c.ADCMicros = int64(binary.LittleEndian.Uint64(body[0:]))
+	nr := int(binary.LittleEndian.Uint16(body[8:]))
+	body = body[10:]
+	if len(body) < nr*18 {
+		return Chat{}, fmt.Errorf("%w: chat wants %d records", ErrBadPacket, nr)
+	}
+	for i := 0; i < nr; i++ {
+		c.Records = append(c.Records, PlaybackRecord{
+			ContentStart: int64(binary.LittleEndian.Uint64(body[0:])),
+			LocalMicros:  int64(binary.LittleEndian.Uint64(body[8:])),
+			N:            binary.LittleEndian.Uint16(body[16:]),
+		})
+		body = body[18:]
+	}
+	if len(body) < 2 {
+		return Chat{}, ErrBadPacket
+	}
+	ne := int(binary.LittleEndian.Uint16(body[0:]))
+	body = body[2:]
+	if len(body) < ne {
+		return Chat{}, fmt.Errorf("%w: chat wants %d encoded bytes", ErrBadPacket, ne)
+	}
+	c.Encoded = append([]byte(nil), body[:ne]...)
+	return c, nil
+}
+
+// EncodeHello serializes a hello.
+func EncodeHello(h Hello) []byte {
+	b := header(TypeHello, h.Seq)
+	return append(b, byte(h.Role))
+}
+
+// DecodeHello parses a hello body.
+func DecodeHello(seq uint32, body []byte) (Hello, error) {
+	if len(body) < 1 {
+		return Hello{}, ErrBadPacket
+	}
+	return Hello{Seq: seq, Role: Role(body[0])}, nil
+}
+
+// Message is a decoded incoming datagram plus its sender.
+type Message struct {
+	Type  PacketType
+	Media Media
+	Chat  Chat
+	Hello Hello
+	From  net.Addr
+}
+
+// Decode parses any Ekho datagram.
+func Decode(b []byte) (Message, error) {
+	t, seq, body, err := parseHeader(b)
+	if err != nil {
+		return Message{}, err
+	}
+	msg := Message{Type: t}
+	switch t {
+	case TypeMedia:
+		msg.Media, err = DecodeMedia(seq, body)
+	case TypeChat:
+		msg.Chat, err = DecodeChat(seq, body)
+	case TypeHello:
+		msg.Hello, err = DecodeHello(seq, body)
+	case TypeBye:
+	default:
+		err = fmt.Errorf("%w: unknown type %d", ErrBadPacket, t)
+	}
+	return msg, err
+}
+
+// Conn wraps a UDP socket with Ekho framing.
+type Conn struct {
+	pc  net.PacketConn
+	buf []byte
+}
+
+// Listen opens a UDP socket on the address (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Conn, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &Conn{pc: pc, buf: make([]byte, maxDatagram)}, nil
+}
+
+// LocalAddr returns the bound address.
+func (c *Conn) LocalAddr() net.Addr { return c.pc.LocalAddr() }
+
+// Close releases the socket.
+func (c *Conn) Close() error { return c.pc.Close() }
+
+// SendTo transmits an encoded datagram.
+func (c *Conn) SendTo(b []byte, to net.Addr) error {
+	_, err := c.pc.WriteTo(b, to)
+	if err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+// Recv blocks (until deadline) for the next decodable datagram.
+func (c *Conn) Recv(deadline time.Time) (Message, error) {
+	if err := c.pc.SetReadDeadline(deadline); err != nil {
+		return Message{}, fmt.Errorf("transport: deadline: %w", err)
+	}
+	for {
+		n, from, err := c.pc.ReadFrom(c.buf)
+		if err != nil {
+			return Message{}, err
+		}
+		msg, err := Decode(c.buf[:n])
+		if err != nil {
+			continue // ignore stray datagrams
+		}
+		msg.From = from
+		return msg, nil
+	}
+}
+
+// ResolveUDP parses an address for SendTo.
+func ResolveUDP(addr string) (net.Addr, error) {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMediaRoundTrip(t *testing.T) {
+	m := Media{Seq: 42, ContentStart: 123456789, ContentOff: 100, Samples: []int16{1, -2, 32767, -32768}}
+	msg, err := Decode(EncodeMedia(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != TypeMedia {
+		t.Fatal("type")
+	}
+	got := msg.Media
+	if got.Seq != m.Seq || got.ContentStart != m.ContentStart || got.ContentOff != m.ContentOff {
+		t.Fatalf("header fields: %+v", got)
+	}
+	for i := range m.Samples {
+		if got.Samples[i] != m.Samples[i] {
+			t.Fatalf("samples: %v", got.Samples)
+		}
+	}
+}
+
+func TestMediaSilenceSentinel(t *testing.T) {
+	m := Media{Seq: 1, ContentStart: -1, Samples: []int16{0, 0}}
+	msg, err := Decode(EncodeMedia(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Media.ContentStart != -1 {
+		t.Fatalf("silence sentinel lost: %d", msg.Media.ContentStart)
+	}
+}
+
+func TestChatRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := Chat{
+			Seq:       r.Uint32(),
+			ADCMicros: r.Int63() - r.Int63(),
+		}
+		for i := 0; i < r.Intn(5); i++ {
+			c.Records = append(c.Records, PlaybackRecord{
+				ContentStart: r.Int63(),
+				LocalMicros:  r.Int63(),
+				N:            uint16(r.Intn(2000)),
+			})
+		}
+		enc := make([]byte, r.Intn(500))
+		r.Read(enc)
+		c.Encoded = enc
+		msg, err := Decode(EncodeChat(c))
+		if err != nil || msg.Type != TypeChat {
+			return false
+		}
+		g := msg.Chat
+		if g.Seq != c.Seq || g.ADCMicros != c.ADCMicros || len(g.Records) != len(c.Records) {
+			return false
+		}
+		for i := range c.Records {
+			if g.Records[i] != c.Records[i] {
+				return false
+			}
+		}
+		if len(g.Encoded) != len(c.Encoded) {
+			return false
+		}
+		for i := range c.Encoded {
+			if g.Encoded[i] != c.Encoded[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	msg, err := Decode(EncodeHello(Hello{Seq: 7, Role: RoleController}))
+	if err != nil || msg.Hello.Role != RoleController || msg.Hello.Seq != 7 {
+		t.Fatalf("hello: %+v err %v", msg, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 2, 3, 4, 5, 6, 7, 8}, make([]byte, 8)} {
+		if _, err := Decode(b); !errors.Is(err, ErrBadPacket) {
+			t.Fatalf("expected ErrBadPacket for %v, got %v", b, err)
+		}
+	}
+	// Valid header, truncated body.
+	m := EncodeMedia(Media{Seq: 1, Samples: make([]int16, 100)})
+	if _, err := Decode(m[:20]); err == nil {
+		t.Fatal("truncated media should fail")
+	}
+	c := EncodeChat(Chat{Seq: 1, Encoded: make([]byte, 50)})
+	if _, err := Decode(c[:12]); err == nil {
+		t.Fatal("truncated chat should fail")
+	}
+}
+
+func TestUDPLoopback(t *testing.T) {
+	server, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	serverAddr, err := ResolveUDP(server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendTo(EncodeHello(Hello{Seq: 1, Role: RoleScreen}), serverAddr); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != TypeHello || msg.Hello.Role != RoleScreen {
+		t.Fatalf("got %+v", msg)
+	}
+	// Reply with media to the observed source address.
+	media := Media{Seq: 9, ContentStart: 960, Samples: []int16{5, 6, 7}}
+	if err := server.SendTo(EncodeMedia(media), msg.From); err != nil {
+		t.Fatal(err)
+	}
+	back, err := client.Recv(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != TypeMedia || back.Media.Seq != 9 || back.Media.Samples[2] != 7 {
+		t.Fatalf("media back: %+v", back)
+	}
+}
+
+func TestRecvSkipsStrayDatagrams(t *testing.T) {
+	server, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	addr, _ := ResolveUDP(server.LocalAddr().String())
+	// Garbage first, then a valid packet.
+	if err := client.SendTo([]byte("not ekho"), addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.SendTo(EncodeHello(Hello{Seq: 2, Role: RoleController}), addr); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := server.Recv(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != TypeHello {
+		t.Fatalf("expected hello after skipping garbage, got %+v", msg)
+	}
+}
