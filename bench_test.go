@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"ekho/internal/experiments"
+	"ekho/internal/hub"
+	"ekho/internal/transport"
 )
 
 // runExperiment executes one experiment per benchmark iteration and
@@ -187,4 +189,76 @@ func runExperimentHelper(b *testing.B) {
 		"haptic_skew_p95_ms":   "ms-haptic-p95",
 		"multi_insync_min_pct": "%multi-insync",
 	})
+}
+
+// BenchmarkHubDemux measures the hub's packet demultiplexing path alone:
+// chat packets for 64 registered (but not yet streaming) sessions are
+// dispatched across the sharded registry, so the cost is the hash, the
+// shard lookup and the worker handoff without any DSP behind it.
+func BenchmarkHubDemux(b *testing.B) {
+	const sessions = 64
+	mem := hub.NewMemNet()
+	conn := mem.Endpoint("hub")
+	h := hub.New(hub.Config{
+		Capacity:    sessions,
+		TickEvery:   -1,
+		IdleTimeout: -1,
+	}, conn)
+	done := make(chan error, 1)
+	go func() { done <- h.Serve() }()
+	from := mem.Endpoint("bench-client").LocalAddr()
+	msgs := make([]transport.Message, sessions)
+	for i := range msgs {
+		id := uint32(i + 1)
+		h.Dispatch(transport.Message{
+			Type:    transport.TypeHello,
+			Session: id,
+			Hello:   transport.Hello{Session: id, Role: transport.RoleScreen},
+			From:    from,
+		})
+		msgs[i] = transport.Message{
+			Type:    transport.TypeChat,
+			Session: id,
+			Chat:    transport.Chat{Session: id},
+			From:    from,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Dispatch(msgs[i%sessions])
+	}
+	b.StopTimer()
+	h.Close()
+	if err := <-done; err != nil {
+		b.Fatalf("hub serve: %v", err)
+	}
+	if got := h.Stats().Admitted; got != sessions {
+		b.Fatalf("admitted %d sessions, want %d", got, sessions)
+	}
+}
+
+// BenchmarkHubSessions measures a full 64-session hub: every iteration
+// runs the complete loopback fleet (estimation, compensation and all)
+// over a short stretch of content and reports the per-session frame
+// throughput.
+func BenchmarkHubSessions(b *testing.B) {
+	const sessions = 64
+	const content = 4.0
+	for i := 0; i < b.N; i++ {
+		rep, err := hub.RunLoopback(hub.LoopbackScenario{
+			Sessions:       sessions,
+			ContentSeconds: content,
+		})
+		if err != nil {
+			b.Fatalf("RunLoopback: %v", err)
+		}
+		if len(rep.Results) != sessions {
+			b.Fatalf("got %d session results, want %d", len(rep.Results), sessions)
+		}
+		frames := 0
+		for _, r := range rep.Results {
+			frames += r.Frames
+		}
+		b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+	}
 }

@@ -21,6 +21,7 @@ import (
 
 func main() {
 	server := flag.String("server", "127.0.0.1:9000", "ekho-server address")
+	session := flag.Uint("session", 0, "session id on a multi-session server")
 	airListen := flag.String("air-listen", "127.0.0.1:9100", "UDP address for overheard screen audio")
 	clockOffset := flag.Duration("clock-offset", 3200*time.Millisecond, "artificial local clock offset")
 	attenuation := flag.Float64("attenuation", 0.1, "overheard path gain")
@@ -31,6 +32,7 @@ func main() {
 
 	_, err := live.RunClient(live.ClientConfig{
 		Server:       *server,
+		Session:      uint32(*session),
 		AirListen:    *airListen,
 		ClockOffset:  *clockOffset,
 		Attenuation:  *attenuation,

@@ -18,6 +18,7 @@ import (
 
 func main() {
 	server := flag.String("server", "127.0.0.1:9000", "ekho-server address")
+	session := flag.Uint("session", 0, "session id on a multi-session server")
 	air := flag.String("air", "127.0.0.1:9100", "ekho-client air (microphone) address")
 	extraDelay := flag.Duration("extra-delay", 150*time.Millisecond, "playback lag emulating TV pipeline")
 	jitterFrames := flag.Int("jitter-frames", 4, "jitter buffer threshold")
@@ -27,6 +28,7 @@ func main() {
 
 	_, err := live.RunScreen(live.ScreenConfig{
 		Server:       *server,
+		Session:      uint32(*session),
 		Air:          *air,
 		ExtraDelay:   *extraDelay,
 		JitterFrames: *jitterFrames,

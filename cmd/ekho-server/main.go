@@ -1,19 +1,27 @@
-// Command ekho-server is the live Ekho-Server demo: it streams a screen
-// stream (with embedded PN markers) and an accessory stream over real UDP
-// to an ekho-screen and an ekho-client process, receives timestamped chat
-// audio back, estimates the inter-stream delay and compensates it.
+// Command ekho-server is the live multi-tenant Ekho server: it hosts up
+// to -capacity concurrent sessions on one UDP socket, each streaming a
+// marked screen stream and an accessory stream to its own ekho-screen and
+// ekho-client pair, estimating the inter-stream delay from the returned
+// chat audio and compensating it per session.
 //
-// Run the three demo processes on one machine:
+// Run a single-session demo on one machine:
 //
-//	ekho-server -listen 127.0.0.1:9000 -duration 30s
+//	ekho-server -listen 127.0.0.1:9000
 //	ekho-client -server 127.0.0.1:9000 -air-listen 127.0.0.1:9100
 //	ekho-screen -server 127.0.0.1:9000 -air 127.0.0.1:9100 -extra-delay 180ms
 //
-// The screen's -extra-delay emulates a slow network + TV pipeline; watch
-// the server measure the startup gap (~240 ms), insert 12 frames, and hold
-// the streams within a frame thereafter — while the client stamps
-// everything with a deliberately offset clock, proving no clock
-// synchronization is needed.
+// Additional player sessions join the same server by picking a session
+// id: start more screen/client pairs with a shared -session N. A session
+// past -capacity is politely refused with a busy packet. The screen's
+// -extra-delay emulates a slow network + TV pipeline; watch the server
+// measure the startup gap (~240 ms), insert 12 frames, and hold the
+// streams within a frame thereafter — while the client stamps everything
+// with a deliberately offset clock, proving no clock synchronization is
+// needed.
+//
+// Signals: SIGHUP prints a stats snapshot, SIGINT/SIGTERM drain the hub
+// (existing sessions finish, new ones are refused) and shut down after a
+// short grace period. The final snapshot is printed on exit.
 package main
 
 import (
@@ -21,27 +29,84 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ekho"
-	"ekho/internal/live"
+	"ekho/internal/hub"
+	"ekho/internal/transport"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9000", "UDP address to listen on")
-	duration := flag.Duration("duration", 30*time.Second, "how long to stream")
+	capacity := flag.Int("capacity", 64, "maximum concurrent sessions")
+	shards := flag.Int("shards", 8, "session registry shards (worker goroutines)")
+	duration := flag.Duration("duration", 0, "stop after this long (0 = run until signalled)")
+	idle := flag.Duration("idle-timeout", 30*time.Second, "evict sessions with no traffic for this long")
+	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGINT/SIGTERM")
 	markerC := flag.Float64("c", ekho.DefaultMarkerVolume, "marker relative volume C")
 	clip := flag.Int("clip", 0, "corpus clip index (0-29)")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if *capacity < 1 {
+		fmt.Fprintln(os.Stderr, "ekho-server: -capacity must be at least 1")
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "ekho-server: -shards must be at least 1")
+		os.Exit(2)
+	}
 
-	_, err := live.RunServer(live.ServerConfig{
-		Listen:   *listen,
-		Duration: *duration,
-		MarkerC:  *markerC,
-		Clip:     *clip,
-		Logf:     log.Printf,
-	})
+	conn, err := transport.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ekho-server:", err)
+		os.Exit(1)
+	}
+	h := hub.New(hub.Config{
+		Capacity:    *capacity,
+		Shards:      *shards,
+		IdleTimeout: *idle,
+		MarkerC:     *markerC,
+		Clip:        *clip,
+		Logf:        log.Printf,
+		OnSessionEnd: func(id uint32, r hub.SessionResult) {
+			log.Printf("session %d ended: %d frames, %d measurements, %d actions",
+				id, r.Frames, r.Measurements, r.Actions)
+		},
+	}, conn)
+
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		var timeout <-chan time.Time
+		if *duration > 0 {
+			timeout = time.After(*duration)
+		}
+		for {
+			select {
+			case sig := <-sigs:
+				if sig == syscall.SIGHUP {
+					log.Printf("stats: %s", h.Stats())
+					continue
+				}
+				log.Printf("%s: draining (grace %s)", sig, *grace)
+				h.Shutdown(*grace)
+				return
+			case <-timeout:
+				log.Printf("duration elapsed: draining (grace %s)", *grace)
+				h.Shutdown(*grace)
+				return
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	err = h.Serve()
+	close(stop)
+	log.Printf("final stats: %s", h.Stats())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ekho-server:", err)
 		os.Exit(1)

@@ -1,0 +1,428 @@
+// Package hub implements Ekho's multi-tenant session control plane: one
+// server process hosting many concurrent, fully independent Ekho
+// sessions (each with its own PN schedule, estimator, compensator and
+// stream schedulers) behind a single UDP socket.
+//
+// Architecture:
+//
+//   - the receive loop decodes datagrams and demultiplexes them by the
+//     wire header's session ID (transport protocol v2) onto a sharded
+//     session registry: per-shard mutex + map, sessions pinned to shards
+//     by ID hash;
+//   - each shard has one worker goroutine that executes all packet
+//     handling, DSP and compensation for its sessions, so different
+//     sessions never contend on one lock and per-session pipeline state
+//     needs no locking at all;
+//   - admission control caps concurrent sessions (rejecting extra
+//     hellos with TypeBusy), idle sessions are reaped after a timeout,
+//     and Drain stops admissions while in-flight sessions finish;
+//   - atomic counters expose a lock-free stats Snapshot.
+//
+// The single-session demo server (internal/live.RunServer) is a
+// capacity-1 hub; cmd/ekho-server runs an unrestricted one.
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ekho"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/gamesynth"
+	"ekho/internal/transport"
+)
+
+// Logf is a printf-style sink for hub progress output.
+type Logf func(format string, args ...any)
+
+// Conn is the datagram endpoint a hub serves on. *transport.Conn
+// implements it; tests and benchmarks substitute an in-process loopback
+// network (NewMemNet).
+type Conn interface {
+	Recv(deadline time.Time) (transport.Message, error)
+	SendTo(b []byte, to net.Addr) error
+	LocalAddr() net.Addr
+	Close() error
+}
+
+// Config tunes a hub. The zero value serves 64 sessions on 8 shards
+// with the paper's session parameters.
+type Config struct {
+	// Capacity caps concurrently admitted sessions (default 64).
+	Capacity int
+	// Shards sets the registry stripe / worker goroutine count
+	// (default 8).
+	Shards int
+	// TickEvery paces media frames (default 20 ms, the wire frame
+	// duration). Negative disables the internal ticker: the caller
+	// drives pacing via Tick, which is how tests run faster than
+	// wall-clock real time.
+	TickEvery time.Duration
+	// IdleTimeout evicts sessions with no inbound packets (default
+	// 30 s). Negative disables reaping.
+	IdleTimeout time.Duration
+	// MarkerC is the relative marker volume (0 = paper default).
+	MarkerC float64
+	// Clip selects the corpus clip every session streams.
+	Clip int
+	// Seed is the PN marker sequence seed (0 = 4242, the demo seed).
+	Seed int64
+	// Codec is the chat uplink profile (zero value = SWB32).
+	Codec codec.Profile
+	// Compensator tunes the per-session feedback loop.
+	Compensator ekho.CompensatorConfig
+	// Logf receives progress lines (nil silences them).
+	Logf Logf
+	// OnSessionReady fires (from a shard worker) when a session's
+	// screen and controller have both joined and streaming starts.
+	OnSessionReady func(id uint32)
+	// OnSessionEnd fires when a session is removed (bye, reap or hub
+	// shutdown) with its final result.
+	OnSessionEnd func(id uint32, r SessionResult)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.TickEvery == 0 {
+		c.TickEvery = 20 * time.Millisecond
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.MarkerC == 0 {
+		c.MarkerC = ekho.DefaultMarkerVolume
+	}
+	if c.Seed == 0 {
+		c.Seed = 4242
+	}
+	if c.Codec.Name == "" {
+		c.Codec = codec.SWB32
+	}
+	return c
+}
+
+// Hub is a multi-tenant Ekho session server.
+type Hub struct {
+	cfg    Config
+	conn   Conn
+	shards []*shard
+	stats  counters
+
+	draining atomic.Bool
+	served   atomic.Bool
+	done     chan struct{}
+	closing  sync.Once
+	wg       sync.WaitGroup
+
+	clipMu sync.Mutex
+	clips  map[int]*audio.Buffer
+	seqOne sync.Once
+	seq    *ekho.MarkerSequence
+}
+
+// New returns a hub serving on conn. Call Serve to start it.
+func New(cfg Config, conn Conn) *Hub {
+	cfg = cfg.withDefaults()
+	h := &Hub{
+		cfg:   cfg,
+		conn:  conn,
+		done:  make(chan struct{}),
+		clips: make(map[int]*audio.Buffer),
+	}
+	h.shards = make([]*shard, cfg.Shards)
+	for i := range h.shards {
+		h.shards[i] = &shard{
+			sessions: make(map[uint32]*session),
+			queue:    make(chan work, 256),
+		}
+	}
+	return h
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+func (h *Hub) codecProfile() codec.Profile { return h.cfg.Codec }
+
+// clip returns the (cached) game-audio buffer for a corpus index; all
+// sessions share one read-only buffer so admission cost stays flat.
+func (h *Hub) clip(idx int) *audio.Buffer {
+	h.clipMu.Lock()
+	defer h.clipMu.Unlock()
+	if b, ok := h.clips[idx]; ok {
+		return b
+	}
+	b := gamesynth.Generate(gamesynth.Catalog()[idx%len(gamesynth.Catalog())], gamesynth.ClipSeconds)
+	h.clips[idx] = b
+	return b
+}
+
+// markerSeq returns the shared, read-only PN marker template.
+func (h *Hub) markerSeq() *ekho.MarkerSequence {
+	h.seqOne.Do(func() { h.seq = ekho.NewMarkerSequence(h.cfg.Seed) })
+	return h.seq
+}
+
+// Serve runs the hub until Close: it starts the shard workers, the media
+// ticker and the idle reaper, then demultiplexes inbound datagrams in
+// the calling goroutine. It returns nil after a clean Close and the
+// socket error otherwise. Serve may be called once.
+func (h *Hub) Serve() error {
+	if !h.served.CompareAndSwap(false, true) {
+		return errors.New("hub: Serve called twice")
+	}
+	for _, sh := range h.shards {
+		h.wg.Add(1)
+		go h.worker(sh)
+	}
+	if h.cfg.TickEvery > 0 {
+		h.wg.Add(1)
+		go h.tickLoop()
+	}
+	if h.cfg.IdleTimeout > 0 {
+		h.wg.Add(1)
+		go h.reapLoop()
+	}
+	h.logf("hub: serving on %s (capacity %d, %d shards)", h.conn.LocalAddr(), h.cfg.Capacity, h.cfg.Shards)
+
+	err := h.recvLoop()
+	h.Close()
+	h.wg.Wait()
+	h.flushSessions()
+	return err
+}
+
+// recvLoop reads and dispatches datagrams until the hub closes. Socket
+// errors other than shutdown and deadline expiry are propagated.
+func (h *Hub) recvLoop() error {
+	for {
+		msg, err := h.conn.Recv(time.Now().Add(time.Second))
+		if err != nil {
+			if h.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			if isTimeout(err) {
+				continue
+			}
+			return fmt.Errorf("hub: receive: %w", err)
+		}
+		if h.isClosed() {
+			return nil
+		}
+		h.Dispatch(msg)
+	}
+}
+
+// Dispatch routes one decoded datagram to its session's shard worker,
+// admitting the session first if the packet is a Hello. It is normally
+// called only by Serve's receive loop; it is exported for benchmarks and
+// tests that drive the hub without a socket.
+func (h *Hub) Dispatch(msg transport.Message) {
+	h.stats.packetsIn.Add(1)
+	sh := h.shards[shardIndex(msg.Session, len(h.shards))]
+	s := sh.lookup(msg.Session)
+	if s == nil {
+		if msg.Type != transport.TypeHello {
+			h.stats.strays.Add(1)
+			return
+		}
+		if s = h.admit(sh, msg); s == nil {
+			return
+		}
+	}
+	s.lastActive.Store(time.Now().UnixNano())
+	h.enqueue(sh, work{kind: workPacket, msg: msg, s: s})
+}
+
+// admit applies admission control for a first Hello. It returns the new
+// session, or nil after sending a TypeBusy reject.
+func (h *Hub) admit(sh *shard, msg transport.Message) *session {
+	active := h.stats.active.Load()
+	if h.draining.Load() || active >= int64(h.cfg.Capacity) {
+		h.stats.rejected.Add(1)
+		h.send(transport.EncodeBusy(transport.Busy{
+			Session:  msg.Session,
+			Active:   uint32(active),
+			Capacity: uint32(h.cfg.Capacity),
+		}), msg.From)
+		h.logf("hub: session %d rejected busy (active %d / capacity %d, draining=%v)",
+			msg.Session, active, h.cfg.Capacity, h.draining.Load())
+		return nil
+	}
+	s := h.newSession(msg.Session)
+	if !sh.insert(s) {
+		// Lost a (benchmark-only) race with another dispatcher; use the
+		// session that won.
+		return sh.lookup(msg.Session)
+	}
+	cur := h.stats.active.Add(1)
+	h.stats.bumpPeak(cur)
+	h.stats.admitted.Add(1)
+	h.logf("hub: session %d admitted (%d active)", msg.Session, cur)
+	return s
+}
+
+// Tick advances every session by one 20 ms media frame. The internal
+// ticker calls it when TickEvery > 0; tests drive it directly to run
+// faster than real time. Enqueueing blocks when a shard worker is
+// saturated, so pacing degrades gracefully instead of queueing
+// unboundedly.
+func (h *Hub) Tick() {
+	for _, sh := range h.shards {
+		h.enqueue(sh, work{kind: workTick})
+	}
+}
+
+func (h *Hub) tickLoop() {
+	defer h.wg.Done()
+	t := time.NewTicker(h.cfg.TickEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-t.C:
+			h.Tick()
+		}
+	}
+}
+
+// reapLoop periodically probes for idle sessions. Eviction happens on
+// the shard worker (a reap work item) so session state stays
+// single-threaded; the probe carries the observed lastActive and the
+// worker aborts the eviction if traffic arrived in between.
+func (h *Hub) reapLoop() {
+	defer h.wg.Done()
+	every := h.cfg.IdleTimeout / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-h.cfg.IdleTimeout).UnixNano()
+			for _, sh := range h.shards {
+				var stale []work
+				sh.mu.Lock()
+				for id, s := range sh.sessions {
+					if last := s.lastActive.Load(); last < cutoff {
+						stale = append(stale, work{kind: workReap, id: id, seen: last})
+					}
+				}
+				sh.mu.Unlock()
+				for _, w := range stale {
+					h.enqueue(sh, w)
+				}
+			}
+		}
+	}
+}
+
+// Drain stops admitting new sessions (hellos are rejected with
+// TypeBusy) while in-flight sessions keep streaming.
+func (h *Hub) Drain() {
+	if h.draining.CompareAndSwap(false, true) {
+		h.logf("hub: draining: no new sessions admitted")
+	}
+}
+
+// Shutdown drains the hub, waits up to grace for in-flight sessions to
+// finish (Bye or idle reap), then closes it.
+func (h *Hub) Shutdown(grace time.Duration) {
+	h.Drain()
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) && h.stats.active.Load() > 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	h.Close()
+}
+
+// Close stops the hub: workers, ticker and reaper exit, the socket is
+// closed, and Serve returns after emitting OnSessionEnd for every
+// session still registered.
+func (h *Hub) Close() {
+	h.closing.Do(func() {
+		close(h.done)
+		_ = h.conn.Close()
+	})
+}
+
+func (h *Hub) isClosed() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// flushSessions emits results for sessions still registered at
+// shutdown. Workers have already stopped, so session state is
+// quiescent.
+func (h *Hub) flushSessions() {
+	for _, sh := range h.shards {
+		sh.mu.Lock()
+		ss := make([]*session, 0, len(sh.sessions))
+		for _, s := range sh.sessions {
+			ss = append(ss, s)
+		}
+		sh.sessions = make(map[uint32]*session)
+		sh.mu.Unlock()
+		for _, s := range ss {
+			h.stats.active.Add(-1)
+			h.stats.ended.Add(1)
+			if h.cfg.OnSessionEnd != nil {
+				h.cfg.OnSessionEnd(s.id, s.result())
+			}
+		}
+	}
+}
+
+// send transmits one encoded datagram, counting outcomes.
+func (h *Hub) send(b []byte, to net.Addr) {
+	if to == nil {
+		return
+	}
+	if err := h.conn.SendTo(b, to); err != nil {
+		h.stats.sendErrs.Add(1)
+		return
+	}
+	h.stats.packetsOut.Add(1)
+}
+
+// sendMedia encodes and transmits one media frame.
+func (h *Hub) sendMedia(to net.Addr, m transport.Media) {
+	b, err := transport.EncodeMedia(m)
+	if err != nil {
+		h.stats.sendErrs.Add(1)
+		return
+	}
+	h.send(b, to)
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

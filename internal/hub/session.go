@@ -1,0 +1,285 @@
+package hub
+
+import (
+	"net"
+	"sync/atomic"
+
+	"ekho"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/transport"
+)
+
+// frameSec is the content-time advance of one media tick (20 ms).
+const frameSec = float64(ekho.FrameSamples) / ekho.SampleRate
+
+// SessionResult summarizes one hosted session after it ends.
+type SessionResult struct {
+	// ID is the wire session identifier.
+	ID uint32
+	// Measurements / Actions count estimator outputs and compensator
+	// corrections over the session's lifetime.
+	Measurements int
+	Actions      int
+	// PostActionMeasurements counts measurements taken after the first
+	// correction was applied (a convergence proof needs at least one).
+	PostActionMeasurements int
+	// FirstActionFrames is the insert size of the first compensation.
+	FirstActionFrames int
+	// ISDs holds every measured ISD in seconds, in order.
+	ISDs []float64
+	// Frames is the number of media frame pairs streamed.
+	Frames int
+}
+
+// stream is a minimal content-tracked frame source with compensation
+// (the hub-hosted twin of the simulator's streamScheduler).
+type stream struct {
+	game        *audio.Buffer
+	pos         int
+	silenceDebt int
+	seq         uint32
+}
+
+func (s *stream) apply(a *ekho.Action) {
+	s.silenceDebt += a.InsertFrames*ekho.FrameSamples + a.InsertSamples
+	skip := a.SkipFrames*ekho.FrameSamples + a.SkipSamples
+	if skip > 0 {
+		if s.silenceDebt >= skip {
+			s.silenceDebt -= skip
+			skip = 0
+		} else {
+			skip -= s.silenceDebt
+			s.silenceDebt = 0
+		}
+		s.pos += skip
+	}
+}
+
+func (s *stream) next() (samples []float64, contentStart int64, off uint16) {
+	f := make([]float64, ekho.FrameSamples)
+	if s.silenceDebt >= ekho.FrameSamples {
+		s.silenceDebt -= ekho.FrameSamples
+		return f, -1, 0
+	}
+	o := s.silenceDebt
+	s.silenceDebt = 0
+	start := s.pos
+	for i := o; i < ekho.FrameSamples; i++ {
+		f[i] = s.game.Samples[s.pos%s.game.Len()]
+		s.pos++
+	}
+	return f, int64(start), uint16(o)
+}
+
+// session is one hub-hosted Ekho pipeline: its own PN schedule, streams,
+// estimator, compensator and endpoints. All fields except lastActive are
+// owned by the session's shard worker; lastActive is touched by the
+// receive loop and read by the reaper.
+type session struct {
+	id  uint32
+	hub *Hub
+
+	screenAddr     net.Addr
+	controllerAddr net.Addr
+	ready          bool
+
+	screen    *stream
+	accessory *stream
+	injector  *ekho.Injector
+	est       *ekho.Estimator
+	comp      *ekho.Compensator
+	dec       *codec.Decoder
+
+	markerContent []int64
+	records       []transport.PlaybackRecord
+	chatNext      uint32
+	chatStarted   bool
+	lastChatEnd   float64
+
+	ticks int
+	res   SessionResult
+
+	// lastActive is the wall clock (UnixNano) of the last packet seen
+	// for this session, maintained by the receive loop for the reaper.
+	lastActive atomic.Int64
+}
+
+func (h *Hub) newSession(id uint32) *session {
+	game := h.clip(h.cfg.Clip)
+	seq := h.markerSeq()
+	s := &session{
+		id:        id,
+		hub:       h,
+		screen:    &stream{game: game},
+		accessory: &stream{game: game},
+		injector:  ekho.NewInjector(seq, h.cfg.MarkerC),
+		est:       ekho.NewEstimator(seq),
+		comp:      ekho.NewCompensator(h.cfg.Compensator),
+		dec:       codec.NewDecoder(h.codecProfile()),
+		res:       SessionResult{ID: id},
+	}
+	return s
+}
+
+// now is the session's content-time clock in seconds: it advances with
+// the media it has streamed, so compensator settling windows hold whether
+// the hub is paced by a wall-clock ticker or driven flat-out in tests.
+func (s *session) now() float64 { return float64(s.ticks) * frameSec }
+
+// handle processes one packet on the shard worker. It reports true when
+// the session ended (Bye) and should be removed.
+func (s *session) handle(msg transport.Message) (done bool) {
+	switch msg.Type {
+	case transport.TypeHello:
+		s.hello(msg)
+	case transport.TypeChat:
+		s.chat(msg.Chat)
+	case transport.TypeBye:
+		s.hub.logf("hub: session %d: bye from %s", s.id, msg.From)
+		return true
+	}
+	return false
+}
+
+func (s *session) hello(msg transport.Message) {
+	switch msg.Hello.Role {
+	case transport.RoleScreen:
+		s.screenAddr = msg.From
+		s.hub.logf("hub: session %d: screen registered from %s", s.id, msg.From)
+	case transport.RoleController:
+		s.controllerAddr = msg.From
+		s.hub.logf("hub: session %d: controller registered from %s", s.id, msg.From)
+	default:
+		return
+	}
+	if !s.ready && s.screenAddr != nil && s.controllerAddr != nil {
+		s.ready = true
+		s.hub.logf("hub: session %d: both endpoints joined; streaming", s.id)
+		if s.hub.cfg.OnSessionReady != nil {
+			s.hub.cfg.OnSessionReady(s.id)
+		}
+	}
+}
+
+// tick emits one 20 ms frame pair: marked screen audio to the screen
+// endpoint and accessory audio to the controller endpoint.
+func (s *session) tick() {
+	if !s.ready {
+		return
+	}
+	sf, sc, so := s.screen.next()
+	if markerStarted(s.injector, sf) {
+		mc := sc
+		if mc < 0 {
+			mc = int64(s.screen.pos)
+		}
+		s.markerContent = append(s.markerContent, mc)
+	}
+	af, ac, ao := s.accessory.next()
+	s.hub.sendMedia(s.screenAddr, transport.Media{
+		Seq: s.screen.seq, Session: s.id, ContentStart: sc, ContentOff: so, Samples: toInt16(sf)})
+	s.hub.sendMedia(s.controllerAddr, transport.Media{
+		Seq: s.accessory.seq, Session: s.id, ContentStart: ac, ContentOff: ao, Samples: toInt16(af)})
+	s.screen.seq++
+	s.accessory.seq++
+	s.ticks++
+	s.res.Frames++
+}
+
+// chat runs the estimator/compensator pipeline on one uplink packet.
+func (s *session) chat(chat transport.Chat) {
+	if !s.ready {
+		return
+	}
+	s.records = append(s.records, chat.Records...)
+	if len(s.records) > 400 {
+		s.records = s.records[len(s.records)-200:]
+	}
+	s.markerContent = matchMarkers(s.est, s.markerContent, s.records)
+	if !s.chatStarted {
+		s.chatStarted = true
+		s.chatNext = chat.Seq
+	}
+	for chat.Seq > s.chatNext {
+		// Conceal lost uplink packets so the chat timeline stays dense.
+		s.est.AddChat(s.dec.Conceal(), s.lastChatEnd)
+		s.lastChatEnd += frameSec
+		s.chatNext++
+	}
+	if chat.Seq < s.chatNext {
+		return
+	}
+	decoded, err := s.dec.Decode(chat.Encoded)
+	if err != nil {
+		decoded = s.dec.Conceal()
+	}
+	ts := float64(chat.ADCMicros)/1e6 - float64(s.hub.codecProfile().Delay())/ekho.SampleRate
+	ms := s.est.AddChat(decoded, ts)
+	s.lastChatEnd = ts + float64(len(decoded))/ekho.SampleRate
+	s.chatNext++
+	now := s.now()
+	for _, m := range ms {
+		s.res.Measurements++
+		s.hub.stats.measurements.Add(1)
+		if s.res.Actions > 0 {
+			s.res.PostActionMeasurements++
+		}
+		s.res.ISDs = append(s.res.ISDs, m.ISDSeconds)
+		s.hub.logf("hub: session %d: ISD measurement %+.1f ms (strength %.0f)", s.id, m.ISDSeconds*1000, m.Strength)
+		if act := s.comp.Offer(now, m.ISDSeconds); act != nil {
+			s.res.Actions++
+			s.hub.stats.actions.Add(1)
+			if s.res.Actions == 1 {
+				s.res.FirstActionFrames = act.InsertFrames
+			}
+			target := s.accessory
+			if act.Stream == ekho.ScreenStream {
+				target = s.screen
+			}
+			target.apply(act)
+			s.hub.logf("hub: session %d: compensation %v stream insert=%d skip=%d frames",
+				s.id, act.Stream, act.InsertFrames, act.SkipFrames)
+		}
+	}
+}
+
+// result snapshots the session's outcome; callers must hold the shard
+// worker's serialization (remove path or post-shutdown).
+func (s *session) result() SessionResult { return s.res }
+
+// markerStarted runs the injector on the frame and reports whether a new
+// marker began.
+func markerStarted(in *ekho.Injector, frame []float64) bool {
+	before := len(in.Log())
+	in.ProcessFrame(frame)
+	return len(in.Log()) > before
+}
+
+// matchMarkers emits marker local times for contents covered by records.
+func matchMarkers(est *ekho.Estimator, pending []int64, records []transport.PlaybackRecord) []int64 {
+	var rest []int64
+	for _, mc := range pending {
+		matched := false
+		for _, r := range records {
+			if mc >= r.ContentStart && mc < r.ContentStart+int64(r.N) {
+				t := float64(r.LocalMicros)/1e6 + float64(mc-r.ContentStart)/ekho.SampleRate
+				est.AddMarkerTime(t)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			rest = append(rest, mc)
+		}
+	}
+	return rest
+}
+
+func toInt16(f []float64) []int16 {
+	out := make([]int16, len(f))
+	for i, v := range f {
+		out[i] = audio.FloatToInt16(v)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package hub
+
+import (
+	"sync"
+
+	"ekho/internal/transport"
+)
+
+// A shard owns a stripe of the session registry plus the single worker
+// goroutine that executes all DSP and compensation for its sessions.
+// Sessions are pinned to shards by ID hash, so two sessions on different
+// shards never contend on a lock or serialize behind each other's
+// estimator work; within a shard the worker provides the serialization
+// that the per-session pipeline state requires.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[uint32]*session
+	queue    chan work
+	// scratch is the worker-owned reusable slice for tick fan-out.
+	scratch []*session
+}
+
+type workKind uint8
+
+const (
+	workPacket workKind = iota
+	workTick
+	workReap
+)
+
+// work is one unit handed to a shard worker: a decoded packet for a
+// session, a media tick for every session in the shard, or a reap probe.
+type work struct {
+	kind workKind
+	msg  transport.Message
+	s    *session
+	// id/seen carry the reap probe: the session to evict and the
+	// lastActive value the reaper observed (the eviction is aborted if a
+	// packet arrived in between).
+	id   uint32
+	seen int64
+}
+
+// shardIndex pins a session ID to a shard. Session IDs are arbitrary
+// client-chosen u32s, so mix the bits before reducing.
+func shardIndex(id uint32, shards int) int {
+	h := id
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return int(h % uint32(shards))
+}
+
+// lookup returns the session currently registered under id, or nil.
+func (sh *shard) lookup(id uint32) *session {
+	sh.mu.Lock()
+	s := sh.sessions[id]
+	sh.mu.Unlock()
+	return s
+}
+
+// insert registers a session; it reports false if the id is taken.
+func (sh *shard) insert(s *session) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[s.id]; ok {
+		return false
+	}
+	sh.sessions[s.id] = s
+	return true
+}
+
+// enqueue hands work to the shard's worker, blocking if the queue is
+// full (backpressure: the UDP socket buffer is the drop point, not a
+// user-space queue). It reports false if the hub shut down instead.
+func (h *Hub) enqueue(sh *shard, w work) bool {
+	select {
+	case sh.queue <- w:
+		return true
+	case <-h.done:
+		return false
+	}
+}
+
+// worker runs a shard's processing loop until the hub closes.
+func (h *Hub) worker(sh *shard) {
+	defer h.wg.Done()
+	for {
+		select {
+		case <-h.done:
+			return
+		case w := <-sh.queue:
+			switch w.kind {
+			case workPacket:
+				if done := w.s.handle(w.msg); done {
+					h.remove(sh, w.s, false)
+				}
+			case workTick:
+				sh.mu.Lock()
+				sh.scratch = sh.scratch[:0]
+				for _, s := range sh.sessions {
+					sh.scratch = append(sh.scratch, s)
+				}
+				sh.mu.Unlock()
+				for _, s := range sh.scratch {
+					s.tick()
+				}
+			case workReap:
+				s := sh.lookup(w.id)
+				if s != nil && s.lastActive.Load() == w.seen {
+					h.remove(sh, s, true)
+				}
+			}
+		}
+	}
+}
+
+// remove unregisters a session and emits its result. Called only from
+// the shard's worker (or from shutdown after workers stopped), so the
+// session's pipeline state is quiescent.
+func (h *Hub) remove(sh *shard, s *session, reaped bool) {
+	sh.mu.Lock()
+	cur, ok := sh.sessions[s.id]
+	if ok && cur == s {
+		delete(sh.sessions, s.id)
+	}
+	sh.mu.Unlock()
+	if !ok || cur != s {
+		return
+	}
+	h.stats.active.Add(-1)
+	h.stats.ended.Add(1)
+	if reaped {
+		h.stats.reaped.Add(1)
+		h.logf("hub: session %d reaped after idle timeout", s.id)
+	}
+	if h.cfg.OnSessionEnd != nil {
+		h.cfg.OnSessionEnd(s.id, s.result())
+	}
+}

@@ -1,0 +1,89 @@
+package hub
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// counters is the hub's always-on accounting, updated with atomics from
+// the receive loop, the shard workers and the reaper so a Snapshot never
+// takes a lock.
+type counters struct {
+	active       atomic.Int64
+	peak         atomic.Int64
+	admitted     atomic.Int64
+	rejected     atomic.Int64
+	reaped       atomic.Int64
+	ended        atomic.Int64
+	packetsIn    atomic.Int64
+	packetsOut   atomic.Int64
+	strays       atomic.Int64
+	sendErrs     atomic.Int64
+	measurements atomic.Int64
+	actions      atomic.Int64
+}
+
+// bumpPeak raises the peak-session mark to at least cur.
+func (c *counters) bumpPeak(cur int64) {
+	for {
+		p := c.peak.Load()
+		if cur <= p || c.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time view of the hub's counters.
+type Snapshot struct {
+	// ActiveSessions / PeakSessions count currently admitted sessions
+	// and the high-water mark over the hub's lifetime.
+	ActiveSessions int64
+	PeakSessions   int64
+	// Admitted / Rejected / Reaped / Ended count session lifecycle
+	// events: hellos admitted, hellos refused with TypeBusy, sessions
+	// evicted for idleness, and sessions that ended (Bye, reap or hub
+	// shutdown).
+	Admitted int64
+	Rejected int64
+	Reaped   int64
+	Ended    int64
+	// PacketsIn / PacketsOut / Strays / SendErrors count datagrams:
+	// decoded arrivals, successful sends, packets for unknown sessions,
+	// and failed sends.
+	PacketsIn  int64
+	PacketsOut int64
+	Strays     int64
+	SendErrors int64
+	// Measurements / Actions aggregate the per-session estimator and
+	// compensator activity across all sessions ever hosted.
+	Measurements int64
+	Actions      int64
+}
+
+// Stats returns a consistent-enough snapshot of the hub counters (each
+// field is individually atomic; no lock is taken).
+func (h *Hub) Stats() Snapshot {
+	c := &h.stats
+	return Snapshot{
+		ActiveSessions: c.active.Load(),
+		PeakSessions:   c.peak.Load(),
+		Admitted:       c.admitted.Load(),
+		Rejected:       c.rejected.Load(),
+		Reaped:         c.reaped.Load(),
+		Ended:          c.ended.Load(),
+		PacketsIn:      c.packetsIn.Load(),
+		PacketsOut:     c.packetsOut.Load(),
+		Strays:         c.strays.Load(),
+		SendErrors:     c.sendErrs.Load(),
+		Measurements:   c.measurements.Load(),
+		Actions:        c.actions.Load(),
+	}
+}
+
+// String formats the snapshot as a one-line status report.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"sessions active=%d peak=%d admitted=%d rejected=%d reaped=%d ended=%d | packets in=%d out=%d strays=%d senderrs=%d | measurements=%d actions=%d",
+		s.ActiveSessions, s.PeakSessions, s.Admitted, s.Rejected, s.Reaped, s.Ended,
+		s.PacketsIn, s.PacketsOut, s.Strays, s.SendErrors, s.Measurements, s.Actions)
+}

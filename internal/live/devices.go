@@ -2,6 +2,10 @@ package live
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
+	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -12,11 +16,30 @@ import (
 	"ekho/internal/transport"
 )
 
+// cleanRecvErr reports whether a socket error marks an expected end of a
+// run (our own close, or a read deadline expiring after the stream went
+// quiet) rather than a failure that must surface to the caller.
+func cleanRecvErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// busyErr converts a TypeBusy reject into the error returned to callers.
+func busyErr(b transport.Busy) error {
+	return fmt.Errorf("live: server busy: %d/%d sessions active", b.Active, b.Capacity)
+}
+
 // ScreenConfig configures the live screen-device role: playback is
 // emulated by forwarding played frames over UDP to the client's "air"
 // port after a configurable extra delay.
 type ScreenConfig struct {
-	Server       string
+	Server string
+	// Session is the wire session identifier to join (0 joins a v1
+	// single-session server).
+	Session      uint32
 	Air          string
 	ExtraDelay   time.Duration
 	JitterFrames int
@@ -34,7 +57,10 @@ type delayed struct {
 	media transport.Media
 }
 
-// RunScreen executes the screen role.
+// RunScreen executes the screen role. It returns an error if the server
+// rejects the session as busy or the sockets fail mid-run; running out
+// the configured duration is a clean exit (announced to the server with
+// a Bye).
 func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 	var stats ScreenStats
 	logf := cfg.Logf
@@ -57,25 +83,38 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 	if err != nil {
 		return stats, err
 	}
-	if err := conn.SendTo(transport.EncodeHello(transport.Hello{Role: transport.RoleScreen}), serverAddr); err != nil {
-		return stats, err
+	hello := transport.Hello{Session: cfg.Session, Role: transport.RoleScreen}
+	if err := conn.SendTo(transport.EncodeHello(hello), serverAddr); err != nil {
+		return stats, fmt.Errorf("live: hello: %w", err)
 	}
-	logf("screen up; media from %s, playing into %s with +%s lag", cfg.Server, cfg.Air, cfg.ExtraDelay)
+	logf("screen up; media from %s (session %d), playing into %s with +%s lag",
+		cfg.Server, cfg.Session, cfg.Air, cfg.ExtraDelay)
 
 	buf := jitterbuf.New(cfg.JitterFrames)
 	metaBySeq := map[int]transport.Media{}
 	queue := list.New()
 
 	media := make(chan transport.Media, 64)
+	errCh := make(chan error, 1)
 	go func() {
+		defer close(media)
 		for {
 			msg, err := conn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
 			if err != nil {
-				close(media)
+				if !cleanRecvErr(err) {
+					errCh <- fmt.Errorf("live: screen receive: %w", err)
+				}
 				return
 			}
-			if msg.Type == transport.TypeMedia {
-				media <- msg.Media
+			switch {
+			case msg.Type == transport.TypeBusy:
+				errCh <- busyErr(msg.Busy)
+				return
+			case msg.Type == transport.TypeMedia && msg.Session == cfg.Session:
+				select {
+				case media <- msg.Media:
+				default: // main loop lagging: drop like a real NIC queue
+				}
 			}
 		}
 	}()
@@ -85,6 +124,8 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 	deadline := time.Now().Add(cfg.Duration)
 	for time.Now().Before(deadline) {
 		select {
+		case err := <-errCh:
+			return stats, err
 		case m, ok := <-media:
 			if !ok {
 				return stats, nil
@@ -118,11 +159,19 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 				next := e.Next()
 				queue.Remove(e)
 				e = next
-				if err := conn.SendTo(transport.EncodeMedia(d.media), airAddr); err == nil {
-					stats.Forwarded++
+				b, err := transport.EncodeMedia(d.media)
+				if err != nil {
+					return stats, fmt.Errorf("live: encode air frame: %w", err)
 				}
+				if err := conn.SendTo(b, airAddr); err != nil {
+					return stats, fmt.Errorf("live: forward to air: %w", err)
+				}
+				stats.Forwarded++
 			}
 		}
+	}
+	if err := conn.SendTo(transport.EncodeBye(transport.Bye{Session: cfg.Session}), serverAddr); err != nil {
+		return stats, fmt.Errorf("live: bye: %w", err)
 	}
 	logf("done: played %d frames, forwarded %d to the air", stats.Played, stats.Forwarded)
 	return stats, nil
@@ -130,7 +179,10 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 
 // ClientConfig configures the live controller/headset role.
 type ClientConfig struct {
-	Server       string
+	Server string
+	// Session is the wire session identifier to join (0 joins a v1
+	// single-session server).
+	Session      uint32
 	AirListen    string
 	ClockOffset  time.Duration
 	Attenuation  float64
@@ -191,7 +243,9 @@ func (m *mic) capture(n int) ([]float64, time.Time, bool) {
 	return out, ts, true
 }
 
-// RunClient executes the controller/headset role.
+// RunClient executes the controller/headset role. Like RunScreen it
+// surfaces busy rejects and socket failures as errors and sends a Bye on
+// clean exit.
 func RunClient(cfg ClientConfig) (ClientStats, error) {
 	var stats ClientStats
 	logf := cfg.Logf
@@ -221,10 +275,12 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 	if err != nil {
 		return stats, err
 	}
-	if err := conn.SendTo(transport.EncodeHello(transport.Hello{Role: transport.RoleController}), serverAddr); err != nil {
-		return stats, err
+	hello := transport.Hello{Session: cfg.Session, Role: transport.RoleController}
+	if err := conn.SendTo(transport.EncodeHello(hello), serverAddr); err != nil {
+		return stats, fmt.Errorf("live: hello: %w", err)
 	}
-	logf("controller up; air on %s, clock offset %s", airConn.LocalAddr(), cfg.ClockOffset)
+	logf("controller up (session %d); air on %s, clock offset %s",
+		cfg.Session, airConn.LocalAddr(), cfg.ClockOffset)
 
 	localMicros := func(t time.Time) int64 { return t.Add(cfg.ClockOffset).UnixMicro() }
 
@@ -235,15 +291,26 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 	var pendingRecords []transport.PlaybackRecord
 
 	media := make(chan transport.Media, 64)
+	errCh := make(chan error, 2)
 	go func() {
+		defer close(media)
 		for {
 			msg, err := conn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
 			if err != nil {
-				close(media)
+				if !cleanRecvErr(err) {
+					errCh <- fmt.Errorf("live: controller receive: %w", err)
+				}
 				return
 			}
-			if msg.Type == transport.TypeMedia {
-				media <- msg.Media
+			switch {
+			case msg.Type == transport.TypeBusy:
+				errCh <- busyErr(msg.Busy)
+				return
+			case msg.Type == transport.TypeMedia && msg.Session == cfg.Session:
+				select {
+				case media <- msg.Media:
+				default:
+				}
 			}
 		}
 	}()
@@ -251,6 +318,9 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 		for {
 			msg, err := airConn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
 			if err != nil {
+				if !cleanRecvErr(err) {
+					errCh <- fmt.Errorf("live: air receive: %w", err)
+				}
 				return
 			}
 			if msg.Type == transport.TypeMedia {
@@ -267,6 +337,11 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 	for now := range tick.C {
 		if now.After(deadline) {
 			break
+		}
+		select {
+		case err := <-errCh:
+			return stats, err
+		default:
 		}
 	drain:
 		for {
@@ -310,10 +385,20 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 			recs := pendingRecords
 			pendingRecords = nil
 			mu.Unlock()
-			chat := transport.Chat{Seq: chatSeq, ADCMicros: adc, Records: recs, Encoded: pkt}
+			chat := transport.Chat{
+				Seq: chatSeq, Session: cfg.Session, ADCMicros: adc, Records: recs, Encoded: pkt}
+			b, err := transport.EncodeChat(chat)
+			if err != nil {
+				return stats, fmt.Errorf("live: encode chat: %w", err)
+			}
 			chatSeq++
-			_ = conn.SendTo(transport.EncodeChat(chat), serverAddr)
+			if err := conn.SendTo(b, serverAddr); err != nil {
+				return stats, fmt.Errorf("live: send chat: %w", err)
+			}
 		}
+	}
+	if err := conn.SendTo(transport.EncodeBye(transport.Bye{Session: cfg.Session}), serverAddr); err != nil {
+		return stats, fmt.Errorf("live: bye: %w", err)
 	}
 	stats.ChatPackets = int(chatSeq)
 	logf("done: sent %d chat packets", chatSeq)

@@ -3,17 +3,20 @@
 // loopback integration test: the same server/screen/controller roles as
 // the virtual-time simulator, but running in wall-clock time over
 // net.PacketConn sockets with the transport wire protocol.
+//
+// The server role is a thin wrapper over internal/hub: RunServer hosts a
+// capacity-1 hub, so the single-session demo and the multi-tenant
+// cmd/ekho-server share one session pipeline implementation.
 package live
 
 import (
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"ekho"
-	"ekho/internal/audio"
-	"ekho/internal/codec"
-	"ekho/internal/gamesynth"
+	"ekho/internal/hub"
 	"ekho/internal/transport"
 )
 
@@ -49,232 +52,82 @@ type ServerStats struct {
 	FirstActionFrames int
 }
 
-// stream is a minimal content-tracked frame source with compensation
-// (the live twin of the simulator's streamScheduler).
-type stream struct {
-	game        *audio.Buffer
-	pos         int
-	silenceDebt int
-	seq         uint32
-}
-
-func (s *stream) apply(a *ekho.Action) {
-	s.silenceDebt += a.InsertFrames*ekho.FrameSamples + a.InsertSamples
-	skip := a.SkipFrames*ekho.FrameSamples + a.SkipSamples
-	if skip > 0 {
-		if s.silenceDebt >= skip {
-			s.silenceDebt -= skip
-			skip = 0
-		} else {
-			skip -= s.silenceDebt
-			s.silenceDebt = 0
-		}
-		s.pos += skip
-	}
-}
-
-func (s *stream) next() (samples []float64, contentStart int64, off uint16) {
-	f := make([]float64, ekho.FrameSamples)
-	if s.silenceDebt >= ekho.FrameSamples {
-		s.silenceDebt -= ekho.FrameSamples
-		return f, -1, 0
-	}
-	o := s.silenceDebt
-	s.silenceDebt = 0
-	start := s.pos
-	for i := o; i < ekho.FrameSamples; i++ {
-		f[i] = s.game.Samples[s.pos%s.game.Len()]
-		s.pos++
-	}
-	return f, int64(start), uint16(o)
-}
-
-// RunServer executes the server role until Duration elapses.
+// RunServer executes the server role: a capacity-1 hub that streams for
+// Duration once both endpoints have joined.
 func RunServer(cfg ServerConfig) (ServerStats, error) {
 	var stats ServerStats
 	logf := cfg.Logf
 	if logf == nil {
 		logf = nopLog
 	}
-	if cfg.MarkerC == 0 {
-		cfg.MarkerC = ekho.DefaultMarkerVolume
-	}
 	conn, err := transport.Listen(cfg.Listen)
 	if err != nil {
 		return stats, err
 	}
-	defer conn.Close()
 	if cfg.Ready != nil {
 		cfg.Ready <- conn.LocalAddr()
 	}
 	logf("listening on %s; waiting for screen and controller hellos", conn.LocalAddr())
 
-	screenAddr, controllerAddr, err := awaitEndpoints(conn, logf)
-	if err != nil {
-		return stats, err
-	}
-	logf("screen=%s controller=%s; streaming for %s", screenAddr, controllerAddr, cfg.Duration)
-
-	game := gamesynth.Generate(gamesynth.Catalog()[cfg.Clip%30], gamesynth.ClipSeconds)
-	seq := ekho.NewMarkerSequence(4242)
-	injector := ekho.NewInjector(seq, cfg.MarkerC)
-	screen := &stream{game: game}
-	accessory := &stream{game: game}
-	est := ekho.NewEstimator(seq)
-	comp := ekho.NewCompensator(ekho.CompensatorConfig{})
-	dec := codec.NewDecoder(codec.SWB32)
-
-	var markerContent []int64
-	var records []transport.PlaybackRecord
-	chatNext := uint32(0)
-	chatStarted := false
-	lastChatEnd := 0.0
-
-	chats := make(chan transport.Chat, 64)
-	go func() {
-		for {
-			msg, err := conn.Recv(time.Now().Add(cfg.Duration + 5*time.Second))
-			if err != nil {
-				close(chats)
+	var (
+		statsMu  sync.Mutex
+		haveStat bool
+		ready    = make(chan struct{})
+		onceRdy  sync.Once
+	)
+	h := hub.New(hub.Config{
+		Capacity: 1,
+		Shards:   1,
+		MarkerC:  cfg.MarkerC,
+		Clip:     cfg.Clip,
+		Logf:     hub.Logf(logf),
+		OnSessionReady: func(id uint32) {
+			onceRdy.Do(func() { close(ready) })
+		},
+		OnSessionEnd: func(id uint32, r hub.SessionResult) {
+			statsMu.Lock()
+			defer statsMu.Unlock()
+			if haveStat {
 				return
 			}
-			if msg.Type == transport.TypeChat {
-				chats <- msg.Chat
+			haveStat = true
+			stats = ServerStats{
+				Measurements:      r.Measurements,
+				Actions:           r.Actions,
+				ISDs:              r.ISDs,
+				FirstActionFrames: r.FirstActionFrames,
 			}
+		},
+	}, conn)
+
+	// The duration clock starts when both endpoints have joined; a run
+	// where no session comes up within a minute is aborted.
+	var timedOut atomic.Bool
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ready:
+			logf("both endpoints joined; streaming for %s", cfg.Duration)
+			select {
+			case <-time.After(cfg.Duration):
+				h.Close()
+			case <-stop:
+			}
+		case <-time.After(time.Minute):
+			timedOut.Store(true)
+			h.Close()
+		case <-stop:
 		}
 	}()
 
-	tick := time.NewTicker(20 * time.Millisecond)
-	defer tick.Stop()
-	deadline := time.Now().Add(cfg.Duration)
-	for time.Now().Before(deadline) {
-		select {
-		case <-tick.C:
-			sf, sc, so := screen.next()
-			if markerStarted(injector, sf) {
-				mc := sc
-				if mc < 0 {
-					mc = int64(screen.pos)
-				}
-				markerContent = append(markerContent, mc)
-			}
-			af, ac, ao := accessory.next()
-			send(conn, screenAddr, transport.Media{Seq: screen.seq, ContentStart: sc, ContentOff: so, Samples: toInt16(sf)})
-			send(conn, controllerAddr, transport.Media{Seq: accessory.seq, ContentStart: ac, ContentOff: ao, Samples: toInt16(af)})
-			screen.seq++
-			accessory.seq++
-		case chat, ok := <-chats:
-			if !ok {
-				return stats, fmt.Errorf("live: receive loop ended early")
-			}
-			records = append(records, chat.Records...)
-			if len(records) > 400 {
-				records = records[len(records)-200:]
-			}
-			markerContent = matchMarkers(est, markerContent, records)
-			if !chatStarted {
-				chatStarted = true
-				chatNext = chat.Seq
-			}
-			for chat.Seq > chatNext {
-				est.AddChat(dec.Conceal(), lastChatEnd)
-				lastChatEnd += 0.02
-				chatNext++
-			}
-			if chat.Seq < chatNext {
-				continue
-			}
-			decoded, err := dec.Decode(chat.Encoded)
-			if err != nil {
-				decoded = dec.Conceal()
-			}
-			ts := float64(chat.ADCMicros)/1e6 - float64(codec.SWB32.Delay())/ekho.SampleRate
-			ms := est.AddChat(decoded, ts)
-			lastChatEnd = ts + float64(len(decoded))/ekho.SampleRate
-			chatNext++
-			now := float64(time.Now().UnixMicro()) / 1e6
-			for _, m := range ms {
-				stats.Measurements++
-				stats.ISDs = append(stats.ISDs, m.ISDSeconds)
-				logf("ISD measurement: %+.1f ms (strength %.0f)", m.ISDSeconds*1000, m.Strength)
-				if act := comp.Offer(now, m.ISDSeconds); act != nil {
-					stats.Actions++
-					if stats.Actions == 1 {
-						stats.FirstActionFrames = act.InsertFrames
-					}
-					target := accessory
-					if act.Stream == ekho.ScreenStream {
-						target = screen
-					}
-					target.apply(act)
-					logf("compensation: %v stream insert=%d skip=%d frames",
-						act.Stream, act.InsertFrames, act.SkipFrames)
-				}
-			}
-		}
+	err = h.Serve()
+	close(stop)
+	if timedOut.Load() {
+		return stats, fmt.Errorf("live: waiting for endpoints: no session within 1 minute")
+	}
+	if err != nil {
+		return stats, err
 	}
 	logf("done: %d measurements, %d compensation actions", stats.Measurements, stats.Actions)
 	return stats, nil
-}
-
-// awaitEndpoints blocks until both roles have said hello.
-func awaitEndpoints(conn *transport.Conn, logf Logf) (screen, controller net.Addr, err error) {
-	for screen == nil || controller == nil {
-		msg, err := conn.Recv(time.Now().Add(time.Minute))
-		if err != nil {
-			return nil, nil, fmt.Errorf("live: waiting for endpoints: %w", err)
-		}
-		if msg.Type != transport.TypeHello {
-			continue
-		}
-		switch msg.Hello.Role {
-		case transport.RoleScreen:
-			screen = msg.From
-			logf("screen registered from %s", msg.From)
-		case transport.RoleController:
-			controller = msg.From
-			logf("controller registered from %s", msg.From)
-		}
-	}
-	return screen, controller, nil
-}
-
-// markerStarted runs the injector on the frame and reports whether a new
-// marker began.
-func markerStarted(in *ekho.Injector, frame []float64) bool {
-	before := len(in.Log())
-	in.ProcessFrame(frame)
-	return len(in.Log()) > before
-}
-
-// matchMarkers emits marker local times for contents covered by records.
-func matchMarkers(est *ekho.Estimator, pending []int64, records []transport.PlaybackRecord) []int64 {
-	var rest []int64
-	for _, mc := range pending {
-		matched := false
-		for _, r := range records {
-			if mc >= r.ContentStart && mc < r.ContentStart+int64(r.N) {
-				t := float64(r.LocalMicros)/1e6 + float64(mc-r.ContentStart)/ekho.SampleRate
-				est.AddMarkerTime(t)
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			rest = append(rest, mc)
-		}
-	}
-	return rest
-}
-
-func toInt16(f []float64) []int16 {
-	out := make([]int16, len(f))
-	for i, v := range f {
-		out[i] = audio.FloatToInt16(v)
-	}
-	return out
-}
-
-func send(conn *transport.Conn, to net.Addr, m transport.Media) {
-	_ = conn.SendTo(transport.EncodeMedia(m), to)
 }

@@ -7,13 +7,23 @@
 //
 // Wire format (all little-endian):
 //
-//	header:  magic u16 | type u8 | flags u8 | seq u32
+//	header:  magic u16 | type u8 | flags u8 | seq u32 | [session u32]
 //	media:   header | contentStart i64 | contentOff u16 | nSamples u16 | samples i16...
 //	chat:    header | adcLocalMicros i64 | nRecords u16 |
 //	         records {contentStart i64, localMicros i64, n u16}... |
 //	         nEncoded u16 | encoded bytes...
 //	hello:   header | role u8
+//	bye:     header
+//	busy:    header | active u32 | capacity u32
 //	marker:  header | contentStart i64   (server -> estimator internal use)
+//
+// Protocol versioning: the original (v1) header is 8 bytes with flags
+// always zero. Version 2 adds a 32-bit session identifier for
+// multi-tenant servers (internal/hub): when FlagSession is set in the
+// flags byte, the header carries a trailing session u32. Packets with
+// session 0 are encoded in the v1 format, so v1 endpoints and v2
+// endpoints interoperate for the default session; unknown flag bits are
+// ignored on decode for forward compatibility.
 package transport
 
 import (
@@ -36,7 +46,13 @@ const (
 	TypeMedia
 	TypeChat
 	TypeBye
+	// TypeBusy rejects a Hello when the server is at capacity or
+	// draining (protocol v2, internal/hub).
+	TypeBusy
 )
+
+// FlagSession marks a v2 header carrying a trailing session u32.
+const FlagSession = 0x01
 
 // Role identifies an endpoint in Hello packets.
 type Role uint8
@@ -50,6 +66,7 @@ const (
 // Media is one downlink audio frame.
 type Media struct {
 	Seq          uint32
+	Session      uint32
 	ContentStart int64 // -1 for inserted silence
 	ContentOff   uint16
 	Samples      []int16
@@ -67,6 +84,7 @@ type PlaybackRecord struct {
 // timestamp and piggybacked playback records.
 type Chat struct {
 	Seq       uint32
+	Session   uint32
 	ADCMicros int64
 	Records   []PlaybackRecord
 	Encoded   []byte
@@ -74,50 +92,97 @@ type Chat struct {
 
 // Hello announces an endpoint and its role.
 type Hello struct {
-	Seq  uint32
-	Role Role
+	Seq     uint32
+	Session uint32
+	Role    Role
+}
+
+// Bye announces that an endpoint is leaving its session.
+type Bye struct {
+	Seq     uint32
+	Session uint32
+}
+
+// Busy rejects a Hello: the server cannot admit the session.
+type Busy struct {
+	Seq     uint32
+	Session uint32
+	// Active and Capacity report the server's load at rejection time.
+	Active   uint32
+	Capacity uint32
 }
 
 // ErrBadPacket reports an undecodable datagram.
 var ErrBadPacket = errors.New("transport: bad packet")
 
-// maxDatagram bounds decode allocations.
+// ErrOversize reports a payload that cannot be represented on the wire
+// (a count exceeding its u16 field, or a datagram above the 64 KiB
+// receive limit). Encoders return it instead of silently truncating.
+var ErrOversize = errors.New("transport: payload exceeds wire limits")
+
+// maxDatagram bounds decode allocations and encoded datagram size.
 const maxDatagram = 64 * 1024
 
-func header(t PacketType, seq uint32) []byte {
+// maxCount is the largest value a u16 count field can carry.
+const maxCount = 1<<16 - 1
+
+func header(t PacketType, seq, session uint32) []byte {
 	b := make([]byte, 8, 64)
 	binary.LittleEndian.PutUint16(b[0:], Magic)
 	b[2] = byte(t)
 	b[3] = 0
 	binary.LittleEndian.PutUint32(b[4:], seq)
+	if session != 0 {
+		b[3] = FlagSession
+		b = binary.LittleEndian.AppendUint32(b, session)
+	}
 	return b
 }
 
-func parseHeader(b []byte) (PacketType, uint32, []byte, error) {
+func parseHeader(b []byte) (t PacketType, seq, session uint32, body []byte, err error) {
 	if len(b) < 8 || binary.LittleEndian.Uint16(b[0:]) != Magic {
-		return 0, 0, nil, ErrBadPacket
+		return 0, 0, 0, nil, ErrBadPacket
 	}
-	return PacketType(b[2]), binary.LittleEndian.Uint32(b[4:]), b[8:], nil
+	t = PacketType(b[2])
+	flags := b[3]
+	seq = binary.LittleEndian.Uint32(b[4:])
+	body = b[8:]
+	if flags&FlagSession != 0 {
+		if len(body) < 4 {
+			return 0, 0, 0, nil, fmt.Errorf("%w: truncated session header", ErrBadPacket)
+		}
+		session = binary.LittleEndian.Uint32(body)
+		body = body[4:]
+	}
+	return t, seq, session, body, nil
 }
 
-// EncodeMedia serializes a media frame.
-func EncodeMedia(m Media) []byte {
-	b := header(TypeMedia, m.Seq)
+// EncodeMedia serializes a media frame. It refuses frames whose sample
+// count does not fit the wire's u16 field or whose encoding would exceed
+// the datagram size limit.
+func EncodeMedia(m Media) ([]byte, error) {
+	if len(m.Samples) > maxCount {
+		return nil, fmt.Errorf("%w: %d samples > %d", ErrOversize, len(m.Samples), maxCount)
+	}
+	b := header(TypeMedia, m.Seq, m.Session)
+	if len(b)+12+2*len(m.Samples) > maxDatagram {
+		return nil, fmt.Errorf("%w: media datagram with %d samples > %d bytes", ErrOversize, len(m.Samples), maxDatagram)
+	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(m.ContentStart))
 	b = binary.LittleEndian.AppendUint16(b, m.ContentOff)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Samples)))
 	for _, s := range m.Samples {
 		b = binary.LittleEndian.AppendUint16(b, uint16(s))
 	}
-	return b
+	return b, nil
 }
 
 // DecodeMedia parses a media frame body (after the header).
-func DecodeMedia(seq uint32, body []byte) (Media, error) {
+func DecodeMedia(seq, session uint32, body []byte) (Media, error) {
 	if len(body) < 12 {
 		return Media{}, ErrBadPacket
 	}
-	m := Media{Seq: seq}
+	m := Media{Seq: seq, Session: session}
 	m.ContentStart = int64(binary.LittleEndian.Uint64(body[0:]))
 	m.ContentOff = binary.LittleEndian.Uint16(body[8:])
 	n := int(binary.LittleEndian.Uint16(body[10:]))
@@ -132,9 +197,20 @@ func DecodeMedia(seq uint32, body []byte) (Media, error) {
 	return m, nil
 }
 
-// EncodeChat serializes a chat packet.
-func EncodeChat(c Chat) []byte {
-	b := header(TypeChat, c.Seq)
+// EncodeChat serializes a chat packet. It refuses packets whose record or
+// encoded-byte counts do not fit their u16 fields or whose encoding would
+// exceed the datagram size limit.
+func EncodeChat(c Chat) ([]byte, error) {
+	if len(c.Records) > maxCount {
+		return nil, fmt.Errorf("%w: %d playback records > %d", ErrOversize, len(c.Records), maxCount)
+	}
+	if len(c.Encoded) > maxCount {
+		return nil, fmt.Errorf("%w: %d encoded bytes > %d", ErrOversize, len(c.Encoded), maxCount)
+	}
+	b := header(TypeChat, c.Seq, c.Session)
+	if len(b)+10+18*len(c.Records)+2+len(c.Encoded) > maxDatagram {
+		return nil, fmt.Errorf("%w: chat datagram > %d bytes", ErrOversize, maxDatagram)
+	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(c.ADCMicros))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Records)))
 	for _, r := range c.Records {
@@ -144,15 +220,15 @@ func EncodeChat(c Chat) []byte {
 	}
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Encoded)))
 	b = append(b, c.Encoded...)
-	return b
+	return b, nil
 }
 
 // DecodeChat parses a chat packet body.
-func DecodeChat(seq uint32, body []byte) (Chat, error) {
+func DecodeChat(seq, session uint32, body []byte) (Chat, error) {
 	if len(body) < 10 {
 		return Chat{}, ErrBadPacket
 	}
-	c := Chat{Seq: seq}
+	c := Chat{Seq: seq, Session: session}
 	c.ADCMicros = int64(binary.LittleEndian.Uint64(body[0:]))
 	nr := int(binary.LittleEndian.Uint16(body[8:]))
 	body = body[10:]
@@ -181,42 +257,75 @@ func DecodeChat(seq uint32, body []byte) (Chat, error) {
 
 // EncodeHello serializes a hello.
 func EncodeHello(h Hello) []byte {
-	b := header(TypeHello, h.Seq)
+	b := header(TypeHello, h.Seq, h.Session)
 	return append(b, byte(h.Role))
 }
 
 // DecodeHello parses a hello body.
-func DecodeHello(seq uint32, body []byte) (Hello, error) {
+func DecodeHello(seq, session uint32, body []byte) (Hello, error) {
 	if len(body) < 1 {
 		return Hello{}, ErrBadPacket
 	}
-	return Hello{Seq: seq, Role: Role(body[0])}, nil
+	return Hello{Seq: seq, Session: session, Role: Role(body[0])}, nil
+}
+
+// EncodeBye serializes a bye.
+func EncodeBye(b Bye) []byte {
+	return header(TypeBye, b.Seq, b.Session)
+}
+
+// EncodeBusy serializes a busy reject.
+func EncodeBusy(b Busy) []byte {
+	h := header(TypeBusy, b.Seq, b.Session)
+	h = binary.LittleEndian.AppendUint32(h, b.Active)
+	h = binary.LittleEndian.AppendUint32(h, b.Capacity)
+	return h
+}
+
+// DecodeBusy parses a busy body.
+func DecodeBusy(seq, session uint32, body []byte) (Busy, error) {
+	if len(body) < 8 {
+		return Busy{}, fmt.Errorf("%w: short busy body", ErrBadPacket)
+	}
+	return Busy{
+		Seq:      seq,
+		Session:  session,
+		Active:   binary.LittleEndian.Uint32(body[0:]),
+		Capacity: binary.LittleEndian.Uint32(body[4:]),
+	}, nil
 }
 
 // Message is a decoded incoming datagram plus its sender.
 type Message struct {
-	Type  PacketType
-	Media Media
-	Chat  Chat
-	Hello Hello
-	From  net.Addr
+	Type PacketType
+	// Session is the header's session identifier (0 for v1 packets).
+	Session uint32
+	Media   Media
+	Chat    Chat
+	Hello   Hello
+	Bye     Bye
+	Busy    Busy
+	From    net.Addr
 }
 
 // Decode parses any Ekho datagram.
 func Decode(b []byte) (Message, error) {
-	t, seq, body, err := parseHeader(b)
+	t, seq, session, body, err := parseHeader(b)
 	if err != nil {
 		return Message{}, err
 	}
-	msg := Message{Type: t}
+	msg := Message{Type: t, Session: session}
 	switch t {
 	case TypeMedia:
-		msg.Media, err = DecodeMedia(seq, body)
+		msg.Media, err = DecodeMedia(seq, session, body)
 	case TypeChat:
-		msg.Chat, err = DecodeChat(seq, body)
+		msg.Chat, err = DecodeChat(seq, session, body)
 	case TypeHello:
-		msg.Hello, err = DecodeHello(seq, body)
+		msg.Hello, err = DecodeHello(seq, session, body)
 	case TypeBye:
+		msg.Bye = Bye{Seq: seq, Session: session}
+	case TypeBusy:
+		msg.Busy, err = DecodeBusy(seq, session, body)
 	default:
 		err = fmt.Errorf("%w: unknown type %d", ErrBadPacket, t)
 	}

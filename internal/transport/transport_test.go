@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"testing"
@@ -8,9 +10,27 @@ import (
 	"time"
 )
 
+func mustMedia(t testing.TB, m Media) []byte {
+	t.Helper()
+	b, err := EncodeMedia(m)
+	if err != nil {
+		t.Fatalf("EncodeMedia: %v", err)
+	}
+	return b
+}
+
+func mustChat(t testing.TB, c Chat) []byte {
+	t.Helper()
+	b, err := EncodeChat(c)
+	if err != nil {
+		t.Fatalf("EncodeChat: %v", err)
+	}
+	return b
+}
+
 func TestMediaRoundTrip(t *testing.T) {
 	m := Media{Seq: 42, ContentStart: 123456789, ContentOff: 100, Samples: []int16{1, -2, 32767, -32768}}
-	msg, err := Decode(EncodeMedia(m))
+	msg, err := Decode(mustMedia(t, m))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +50,7 @@ func TestMediaRoundTrip(t *testing.T) {
 
 func TestMediaSilenceSentinel(t *testing.T) {
 	m := Media{Seq: 1, ContentStart: -1, Samples: []int16{0, 0}}
-	msg, err := Decode(EncodeMedia(m))
+	msg, err := Decode(mustMedia(t, m))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +64,7 @@ func TestChatRoundTripProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		c := Chat{
 			Seq:       r.Uint32(),
+			Session:   r.Uint32(),
 			ADCMicros: r.Int63() - r.Int63(),
 		}
 		for i := 0; i < r.Intn(5); i++ {
@@ -56,12 +77,19 @@ func TestChatRoundTripProperty(t *testing.T) {
 		enc := make([]byte, r.Intn(500))
 		r.Read(enc)
 		c.Encoded = enc
-		msg, err := Decode(EncodeChat(c))
+		b, err := EncodeChat(c)
+		if err != nil {
+			return false
+		}
+		msg, err := Decode(b)
 		if err != nil || msg.Type != TypeChat {
 			return false
 		}
 		g := msg.Chat
-		if g.Seq != c.Seq || g.ADCMicros != c.ADCMicros || len(g.Records) != len(c.Records) {
+		if g.Seq != c.Seq || g.Session != c.Session || g.ADCMicros != c.ADCMicros || len(g.Records) != len(c.Records) {
+			return false
+		}
+		if msg.Session != c.Session {
 			return false
 		}
 		for i := range c.Records {
@@ -89,6 +117,133 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err != nil || msg.Hello.Role != RoleController || msg.Hello.Seq != 7 {
 		t.Fatalf("hello: %+v err %v", msg, err)
 	}
+	if msg.Session != 0 || msg.Hello.Session != 0 {
+		t.Fatalf("v1 hello must decode with session 0: %+v", msg)
+	}
+}
+
+func TestHelloSessionRoundTrip(t *testing.T) {
+	b := EncodeHello(Hello{Seq: 7, Session: 0xDEADBEEF, Role: RoleScreen})
+	if b[3]&FlagSession == 0 {
+		t.Fatal("session hello must set FlagSession")
+	}
+	msg, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Session != 0xDEADBEEF || msg.Hello.Session != 0xDEADBEEF || msg.Hello.Role != RoleScreen || msg.Hello.Seq != 7 {
+		t.Fatalf("v2 hello: %+v", msg)
+	}
+}
+
+func TestByeRoundTrip(t *testing.T) {
+	for _, session := range []uint32{0, 99} {
+		msg, err := Decode(EncodeBye(Bye{Seq: 3, Session: session}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type != TypeBye || msg.Bye.Seq != 3 || msg.Bye.Session != session {
+			t.Fatalf("bye (session %d): %+v", session, msg)
+		}
+	}
+}
+
+func TestBusyRoundTrip(t *testing.T) {
+	b := Busy{Seq: 1, Session: 65, Active: 64, Capacity: 64}
+	msg, err := Decode(EncodeBusy(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != TypeBusy || msg.Busy != b {
+		t.Fatalf("busy: %+v", msg)
+	}
+	// Truncated busy body must error, not panic.
+	if _, err := Decode(EncodeBusy(b)[:14]); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("truncated busy: %v", err)
+	}
+}
+
+// TestV1HeaderCompat pins the on-wire backward compatibility: session-0
+// packets must be byte-identical to the v1 format (8-byte header, zero
+// flags), and hand-built v1 datagrams must decode.
+func TestV1HeaderCompat(t *testing.T) {
+	b := mustMedia(t, Media{Seq: 9, ContentStart: 960, Samples: []int16{5}})
+	if b[3] != 0 {
+		t.Fatalf("session-0 media must keep v1 zero flags, got %#x", b[3])
+	}
+	// Hand-built v1 hello: magic | type | flags=0 | seq.
+	v1 := make([]byte, 9)
+	binary.LittleEndian.PutUint16(v1[0:], Magic)
+	v1[2] = byte(TypeHello)
+	binary.LittleEndian.PutUint32(v1[4:], 11)
+	v1[8] = byte(RoleScreen)
+	msg, err := Decode(v1)
+	if err != nil || msg.Hello.Seq != 11 || msg.Hello.Role != RoleScreen || msg.Session != 0 {
+		t.Fatalf("v1 hello decode: %+v err %v", msg, err)
+	}
+	// The same payload with FlagSession set and a session id appended
+	// must carry the id.
+	b2 := EncodeHello(Hello{Seq: 11, Session: 5, Role: RoleScreen})
+	msg2, err := Decode(b2)
+	if err != nil || msg2.Session != 5 {
+		t.Fatalf("v2 hello decode: %+v err %v", msg2, err)
+	}
+	// A v2 header truncated before its session id is a bad packet.
+	if _, err := Decode(b2[:8]); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("truncated v2 header: %v", err)
+	}
+}
+
+func TestSessionRoundTripAllTypes(t *testing.T) {
+	const sid = 7
+	media := mustMedia(t, Media{Seq: 1, Session: sid, ContentStart: 5, Samples: []int16{1, 2}})
+	chat := mustChat(t, Chat{Seq: 2, Session: sid, ADCMicros: 3, Encoded: []byte{4}})
+	for _, b := range [][]byte{
+		media,
+		chat,
+		EncodeHello(Hello{Seq: 3, Session: sid, Role: RoleController}),
+		EncodeBye(Bye{Seq: 4, Session: sid}),
+		EncodeBusy(Busy{Seq: 5, Session: sid, Active: 1, Capacity: 2}),
+	} {
+		msg, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Session != sid {
+			t.Fatalf("type %d lost session: %+v", msg.Type, msg)
+		}
+	}
+}
+
+func TestEncodeMediaOversize(t *testing.T) {
+	// More samples than the u16 count field can hold.
+	if _, err := EncodeMedia(Media{Samples: make([]int16, 70000)}); !errors.Is(err, ErrOversize) {
+		t.Fatalf("70000 samples: want ErrOversize, got %v", err)
+	}
+	// Fits u16 but overflows the datagram limit.
+	if _, err := EncodeMedia(Media{Samples: make([]int16, 40000)}); !errors.Is(err, ErrOversize) {
+		t.Fatalf("40000 samples: want ErrOversize, got %v", err)
+	}
+	// A max-size legal frame still encodes.
+	if _, err := EncodeMedia(Media{Samples: make([]int16, 32000)}); err != nil {
+		t.Fatalf("32000 samples should encode: %v", err)
+	}
+}
+
+func TestEncodeChatOversize(t *testing.T) {
+	if _, err := EncodeChat(Chat{Encoded: make([]byte, 70000)}); !errors.Is(err, ErrOversize) {
+		t.Fatalf("70000 encoded bytes: want ErrOversize, got %v", err)
+	}
+	if _, err := EncodeChat(Chat{Records: make([]PlaybackRecord, 70000)}); !errors.Is(err, ErrOversize) {
+		t.Fatalf("70000 records: want ErrOversize, got %v", err)
+	}
+	// 4000 records × 18 B ≈ 72 KiB: fits u16 but not a datagram.
+	if _, err := EncodeChat(Chat{Records: make([]PlaybackRecord, 4000)}); !errors.Is(err, ErrOversize) {
+		t.Fatalf("4000 records: want ErrOversize, got %v", err)
+	}
+	if _, err := EncodeChat(Chat{Records: make([]PlaybackRecord, 100), Encoded: make([]byte, 1000)}); err != nil {
+		t.Fatalf("legal chat should encode: %v", err)
+	}
 }
 
 func TestDecodeRejectsGarbage(t *testing.T) {
@@ -98,13 +253,50 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		}
 	}
 	// Valid header, truncated body.
-	m := EncodeMedia(Media{Seq: 1, Samples: make([]int16, 100)})
+	m := mustMedia(t, Media{Seq: 1, Samples: make([]int16, 100)})
 	if _, err := Decode(m[:20]); err == nil {
 		t.Fatal("truncated media should fail")
 	}
-	c := EncodeChat(Chat{Seq: 1, Encoded: make([]byte, 50)})
+	c := mustChat(t, Chat{Seq: 1, Encoded: make([]byte, 50)})
 	if _, err := Decode(c[:12]); err == nil {
 		t.Fatal("truncated chat should fail")
+	}
+}
+
+// TestReEncodeStability: decoding then re-encoding a well-formed packet
+// reproduces the original bytes for every packet type, v1 and v2.
+func TestReEncodeStability(t *testing.T) {
+	packets := [][]byte{
+		mustMedia(t, Media{Seq: 1, ContentStart: 960, ContentOff: 3, Samples: []int16{9, -9}}),
+		mustMedia(t, Media{Seq: 1, Session: 12, ContentStart: 960, Samples: []int16{9}}),
+		mustChat(t, Chat{Seq: 2, ADCMicros: 7, Records: []PlaybackRecord{{1, 2, 3}}, Encoded: []byte{1}}),
+		mustChat(t, Chat{Seq: 2, Session: 12, ADCMicros: 7, Encoded: []byte{1, 2}}),
+		EncodeHello(Hello{Seq: 3, Role: RoleScreen}),
+		EncodeHello(Hello{Seq: 3, Session: 12, Role: RoleScreen}),
+		EncodeBye(Bye{Seq: 4, Session: 12}),
+		EncodeBusy(Busy{Seq: 5, Session: 12, Active: 64, Capacity: 64}),
+	}
+	for i, b := range packets {
+		msg, err := Decode(b)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		var out []byte
+		switch msg.Type {
+		case TypeMedia:
+			out = mustMedia(t, msg.Media)
+		case TypeChat:
+			out = mustChat(t, msg.Chat)
+		case TypeHello:
+			out = EncodeHello(msg.Hello)
+		case TypeBye:
+			out = EncodeBye(msg.Bye)
+		case TypeBusy:
+			out = EncodeBusy(msg.Busy)
+		}
+		if !bytes.Equal(out, b) {
+			t.Fatalf("packet %d re-encode mismatch:\n in %x\nout %x", i, b, out)
+		}
 	}
 }
 
@@ -136,7 +328,7 @@ func TestUDPLoopback(t *testing.T) {
 	}
 	// Reply with media to the observed source address.
 	media := Media{Seq: 9, ContentStart: 960, Samples: []int16{5, 6, 7}}
-	if err := server.SendTo(EncodeMedia(media), msg.From); err != nil {
+	if err := server.SendTo(mustMedia(t, media), msg.From); err != nil {
 		t.Fatal(err)
 	}
 	back, err := client.Recv(time.Now().Add(2 * time.Second))
