@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +49,7 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGINT/SIGTERM")
 	markerC := flag.Float64("c", ekho.DefaultMarkerVolume, "marker relative volume C")
 	clip := flag.Int("clip", 0, "corpus clip index (0-29)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	if *capacity < 1 {
@@ -56,6 +59,17 @@ func main() {
 	if *shards < 1 {
 		fmt.Fprintln(os.Stderr, "ekho-server: -shards must be at least 1")
 		os.Exit(2)
+	}
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers; profiles at
+		// http://<addr>/debug/pprof/ (CPU, heap, allocs, goroutine, ...).
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	conn, err := transport.Listen(*listen)

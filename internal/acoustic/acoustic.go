@@ -97,9 +97,11 @@ func (m Microphone) ResponseDB(freq float64) float64 {
 	for i := range probe {
 		probe[i] = math.Sin(2 * math.Pi * freq * float64(i) / rate)
 	}
-	out := chain.Apply(probe)
+	// The probe is discarded afterwards, but its input RMS is needed
+	// before filtering overwrites it.
 	in := dsp.RMS(probe[n/2:])
-	o := dsp.RMS(out[n/2:])
+	chain.ApplyInPlace(probe)
+	o := dsp.RMS(probe[n/2:])
 	if o <= 0 || in <= 0 {
 		return math.Inf(-1)
 	}
@@ -215,8 +217,8 @@ func (c Channel) Transmit(b *audio.Buffer) *audio.Buffer {
 		samples[i] *= att
 	}
 
-	// Microphone coloration.
-	samples = c.Mic.response(float64(rate)).Apply(samples)
+	// Microphone coloration (samples is already this call's private copy).
+	c.Mic.response(float64(rate)).ApplyInPlace(samples)
 
 	// Ambient noise floor.
 	if c.AmbientLevel > 0 {

@@ -34,6 +34,9 @@ func AWeightedPower(b *Buffer) float64 {
 	if n == 0 {
 		return 0
 	}
+	// FFTReal zero-pads to NextPow2(n): the returned spectrum has
+	// len(spec) = NextPow2(n) bins, so bin spacing and the Parseval
+	// normalization below must use that padded length, not n.
 	spec := dsp.FFTReal(b.Samples)
 	m := len(spec)
 	half := m / 2

@@ -1,0 +1,96 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchFrame(seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, FrameSamples)
+	for i := range f {
+		f[i] = 0.25 * rng.NormFloat64()
+	}
+	return f
+}
+
+// BenchmarkEncodeSWB32 measures the steady-state cost of encoding one
+// 20 ms frame at the paper's SWB 32 kbps operating point.
+func BenchmarkEncodeSWB32(b *testing.B) {
+	enc := NewEncoder(SWB32)
+	frame := benchFrame(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeSWB32 measures the steady-state cost of decoding one
+// 20 ms frame at SWB 32 kbps.
+func BenchmarkDecodeSWB32(b *testing.B) {
+	enc := NewEncoder(SWB32)
+	dec := NewDecoder(SWB32)
+	pkt, err := enc.Encode(benchFrame(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeToSWB32 measures the append-style encoder with a reused
+// packet buffer — the zero-allocation path the hub runs per tick.
+func BenchmarkEncodeToSWB32(b *testing.B) {
+	enc := NewEncoder(SWB32)
+	frame := benchFrame(1)
+	var pkt []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if pkt, err = enc.EncodeTo(pkt[:0], frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeToSWB32 measures the append-style decoder with a reused
+// sample buffer.
+func BenchmarkDecodeToSWB32(b *testing.B) {
+	enc := NewEncoder(SWB32)
+	dec := NewDecoder(SWB32)
+	pkt, err := enc.Encode(benchFrame(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, err = dec.DecodeTo(out[:0], pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeLossless measures the lossless (loopback-fleet) frame
+// encode path.
+func BenchmarkEncodeLossless(b *testing.B) {
+	enc := NewEncoder(Lossless)
+	frame := benchFrame(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

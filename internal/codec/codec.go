@@ -23,6 +23,11 @@
 // The wire format is deliberately simple (per-band float32 scales plus
 // packed indices); the *configured* bitrate drives distortion rather than
 // the literal packet size. See DESIGN.md for the substitution rationale.
+//
+// Encoder and Decoder own MDCT plans and scratch buffers, so the
+// steady-state EncodeTo/DecodeTo path — one call per 20 ms frame per hub
+// session — allocates nothing once the caller reuses its packet and sample
+// buffers.
 package codec
 
 import (
@@ -86,6 +91,12 @@ type Encoder struct {
 	history []float64 // last hop samples, prepended to each block
 	nBins   int       // MDCT bins per block (= hop)
 	bands   []bandDef
+
+	mdct  *dsp.MDCTPlan
+	block []float64 // windowed analysis block scratch
+	spec  []float64 // MDCT spectrum scratch
+	bits  []int     // per-band bit allocation scratch
+	logE  []float64 // per-band log-energy scratch
 }
 
 // Decoder reconstructs the stream, maintaining overlap-add state.
@@ -97,6 +108,11 @@ type Decoder struct {
 	bands   []bandDef
 	last    []float64 // last decoded spectrum magnitudes for concealment
 	lastOK  bool
+
+	mdct  *dsp.MDCTPlan
+	spec  []float64 // dequantized spectrum scratch
+	td    []float64 // IMDCT time-domain scratch
+	cspec []float64 // concealment spectrum scratch
 }
 
 type bandDef struct{ lo, hi int } // bin range [lo, hi)
@@ -104,12 +120,18 @@ type bandDef struct{ lo, hi int } // bin range [lo, hi)
 // NewEncoder returns an encoder for the profile.
 func NewEncoder(p Profile) *Encoder {
 	bl := p.blockLen()
+	bands := makeBands(p.hop(), p.BandwidthHz)
 	return &Encoder{
 		prof:    p,
 		window:  sineWindow(bl),
 		history: make([]float64, p.hop()),
 		nBins:   p.hop(),
-		bands:   makeBands(p.hop(), p.BandwidthHz),
+		bands:   bands,
+		mdct:    dsp.NewMDCTPlan(p.hop()),
+		block:   make([]float64, bl),
+		spec:    make([]float64, p.hop()),
+		bits:    make([]int, len(bands)),
+		logE:    make([]float64, len(bands)),
 	}
 }
 
@@ -121,6 +143,8 @@ func NewDecoder(p Profile) *Decoder {
 		overlap: make([]float64, p.hop()),
 		nBins:   p.hop(),
 		bands:   makeBands(p.hop(), p.BandwidthHz),
+		mdct:    dsp.NewMDCTPlan(p.hop()),
+		spec:    make([]float64, p.hop()),
 	}
 }
 
@@ -171,68 +195,96 @@ func makeBands(nBins int, bandwidthHz float64) []bandDef {
 // The stream has one hop of algorithmic delay: packet i reconstructs the
 // signal span ending at frame i's start (see Decoder.Decode).
 func (e *Encoder) Encode(frame []float64) ([]byte, error) {
+	return e.EncodeTo(nil, frame)
+}
+
+// EncodeTo is Encode appending the packet to dst and returning the extended
+// slice. With a reused dst the steady-state path allocates nothing.
+func (e *Encoder) EncodeTo(dst []byte, frame []float64) ([]byte, error) {
 	if len(frame) != FrameSamples {
-		return nil, fmt.Errorf("codec: frame must be %d samples, got %d", FrameSamples, len(frame))
+		return dst, fmt.Errorf("codec: frame must be %d samples, got %d", FrameSamples, len(frame))
 	}
 	if e.prof.Lossless {
-		return e.encodeLossless(frame), nil
+		return e.appendLossless(dst, frame), nil
 	}
 	hop := e.prof.hop()
 	bl := e.prof.blockLen()
-	// In low-delay mode (hop 480) each 960-sample frame spans two blocks.
-	var packets [][]byte
-	offset := 0
-	for offset+hop <= len(frame) {
-		block := make([]float64, bl)
-		copy(block, e.history)
-		copy(block[hop:], frame[offset:offset+hop])
+	prefixed := hop < FrameSamples // low-delay: two length-prefixed sub-blocks
+	for offset := 0; offset+hop <= len(frame); offset += hop {
+		copy(e.block, e.history)
+		copy(e.block[hop:], frame[offset:offset+hop])
 		copy(e.history, frame[offset:offset+hop])
-		packets = append(packets, e.encodeBlock(block))
-		offset += hop
-	}
-	return joinPackets(packets), nil
-}
-
-func (e *Encoder) encodeLossless(frame []float64) []byte {
-	out := make([]byte, 3+8*len(frame))
-	out[0] = magic
-	out[1] = 0xFF // lossless tag
-	out[2] = 0
-	for i, v := range frame {
-		binary.LittleEndian.PutUint64(out[3+8*i:], math.Float64bits(v))
-	}
-	return out
-}
-
-// encodeBlock windows, MDCT-transforms and quantizes one block.
-func (e *Encoder) encodeBlock(block []float64) []byte {
-	windowed := make([]float64, len(block))
-	for i := range block {
-		windowed[i] = block[i] * e.window[i]
-	}
-	spec := dsp.MDCT(windowed)
-
-	bits := e.allocateBits(spec)
-	// Serialize: magic, tag, band count, then per band: scale f32 +
-	// bits u8 + one int16 index per MDCT coefficient.
-	out := []byte{magic, blockTag, byte(len(e.bands))}
-	for bi, bd := range e.bands {
-		scale := bandScale(spec, bd)
-		levels := float64(int(1) << bits[bi])
-		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(scale)))
-		out = append(out, byte(bits[bi]))
-		for bin := bd.lo; bin < bd.hi; bin++ {
-			out = binary.LittleEndian.AppendUint16(out, uint16(quantize(spec[bin], scale, levels)))
+		for i := 0; i < bl; i++ {
+			e.block[i] *= e.window[i]
+		}
+		if prefixed {
+			// u16 length placeholder, backfilled after the block is written.
+			at := len(dst)
+			dst = append(dst, 0, 0)
+			dst = e.appendBlock(dst)
+			binary.LittleEndian.PutUint16(dst[at:], uint16(len(dst)-at-2))
+		} else {
+			dst = e.appendBlock(dst)
 		}
 	}
-	return out
+	return dst, nil
 }
 
-// allocateBits distributes the per-block bit budget over bands. High
-// complexity allocates proportionally to log band energy (a crude
-// perceptual water-filling); low complexity spreads bits uniformly, wasting
-// budget on empty bands — this is what makes low-complexity encodes hurt
-// the sparse 6-12 kHz marker band more.
+func (e *Encoder) appendLossless(dst []byte, frame []float64) []byte {
+	need := 3 + 8*len(frame)
+	dst = ensureCap(dst, need)
+	n := len(dst)
+	dst = dst[:n+need]
+	dst[n], dst[n+1], dst[n+2] = magic, 0xFF, 0
+	for i, v := range frame {
+		binary.LittleEndian.PutUint64(dst[n+3+8*i:], math.Float64bits(v))
+	}
+	return dst
+}
+
+// ensureCap grows dst's spare capacity to at least extra bytes in a single
+// allocation, so the append-style serializers don't pay repeated doubling
+// on a cold buffer.
+func ensureCap(dst []byte, extra int) []byte {
+	if cap(dst)-len(dst) >= extra {
+		return dst
+	}
+	nd := make([]byte, len(dst), len(dst)+extra)
+	copy(nd, dst)
+	return nd
+}
+
+// appendBlock MDCT-transforms and quantizes the windowed block scratch,
+// appending the serialized bytes to dst.
+func (e *Encoder) appendBlock(dst []byte) []byte {
+	blockBytes := 3
+	for _, bd := range e.bands {
+		blockBytes += 5 + 2*(bd.hi-bd.lo)
+	}
+	dst = ensureCap(dst, blockBytes)
+	e.spec = e.mdct.Forward(e.spec, e.block)
+
+	bits := e.allocateBits(e.spec)
+	// Serialize: magic, tag, band count, then per band: scale f32 +
+	// bits u8 + one int16 index per MDCT coefficient.
+	dst = append(dst, magic, blockTag, byte(len(e.bands)))
+	for bi, bd := range e.bands {
+		scale := bandScale(e.spec, bd)
+		levels := float64(int(1) << bits[bi])
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(scale)))
+		dst = append(dst, byte(bits[bi]))
+		for bin := bd.lo; bin < bd.hi; bin++ {
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(quantize(e.spec[bin], scale, levels)))
+		}
+	}
+	return dst
+}
+
+// allocateBits distributes the per-block bit budget over bands into the
+// encoder's reused scratch. High complexity allocates proportionally to log
+// band energy (a crude perceptual water-filling); low complexity spreads
+// bits uniformly, wasting budget on empty bands — this is what makes
+// low-complexity encodes hurt the sparse 6-12 kHz marker band more.
 func (e *Encoder) allocateBits(spec []float64) []int {
 	hopSec := float64(e.prof.hop()) / audio.SampleRate
 	// entropyEfficiency models the gap between our raw scalar indices and
@@ -251,8 +303,11 @@ func (e *Encoder) allocateBits(spec []float64) []int {
 	for _, bd := range e.bands {
 		totalBins += bd.hi - bd.lo
 	}
-	bits := make([]int, len(e.bands))
+	bits := e.bits
 	if totalBins == 0 {
+		for i := range bits {
+			bits[i] = 0
+		}
 		return bits
 	}
 	if e.prof.Complexity < 4 {
@@ -266,7 +321,7 @@ func (e *Encoder) allocateBits(spec []float64) []int {
 	// quantizers): every band gets base bits plus half the log2 of its
 	// per-bin energy relative to the geometric mean, so loud bands get
 	// finer steps without starving wide quiet ones.
-	logE := make([]float64, len(e.bands))
+	logE := e.logE
 	var meanLogE float64
 	for i, bd := range e.bands {
 		var energy float64
@@ -325,82 +380,78 @@ func dequantize(q int16, scale, levels float64) float64 {
 	return float64(q) / (levels - 1) * scale
 }
 
-// joinPackets concatenates sub-block packets with u16 length prefixes.
-func joinPackets(pkts [][]byte) []byte {
-	if len(pkts) == 1 {
-		return pkts[0]
-	}
-	var out []byte
-	for _, p := range pkts {
-		out = binary.LittleEndian.AppendUint16(out, uint16(len(p)))
-		out = append(out, p...)
-	}
-	return out
-}
-
 // Decode reconstructs one 960-sample frame from a packet. Because of the
 // 50% overlap the output is delayed by one hop relative to the input fed
 // to Encode — callers that need sample-exact alignment should use
 // RoundTripAligned.
 func (d *Decoder) Decode(pkt []byte) ([]float64, error) {
+	return d.DecodeTo(nil, pkt)
+}
+
+// DecodeTo is Decode appending the reconstructed samples to dst and
+// returning the extended slice. With a reused dst the steady-state path
+// allocates nothing.
+func (d *Decoder) DecodeTo(dst []float64, pkt []byte) ([]float64, error) {
 	if len(pkt) >= 3 && pkt[0] == magic && pkt[1] == 0xFF {
-		return d.decodeLossless(pkt)
+		return d.appendLossless(dst, pkt)
 	}
 	if d.prof.LowDelay {
 		// Two sub-packets with length prefixes.
-		out := make([]float64, 0, FrameSamples)
+		start := len(dst)
 		rest := pkt
-		for len(out) < FrameSamples {
+		for len(dst)-start < FrameSamples {
 			if len(rest) < 2 {
-				return nil, ErrBadPacket
+				return dst[:start], ErrBadPacket
 			}
 			n := int(binary.LittleEndian.Uint16(rest))
 			rest = rest[2:]
 			if len(rest) < n {
-				return nil, ErrBadPacket
+				return dst[:start], ErrBadPacket
 			}
-			blockOut, err := d.decodeBlock(rest[:n])
+			var err error
+			dst, err = d.appendBlock(dst, rest[:n])
 			if err != nil {
-				return nil, err
+				return dst[:start], err
 			}
-			out = append(out, blockOut...)
 			rest = rest[n:]
 		}
-		return out, nil
+		return dst, nil
 	}
 	if len(pkt) < 3 || pkt[0] != magic {
-		return nil, ErrBadPacket
+		return dst, ErrBadPacket
 	}
-	return d.decodeBlock(pkt)
+	return d.appendBlock(dst, pkt)
 }
 
-func (d *Decoder) decodeLossless(pkt []byte) ([]float64, error) {
+func (d *Decoder) appendLossless(dst []float64, pkt []byte) ([]float64, error) {
 	n := (len(pkt) - 3) / 8
 	if n != FrameSamples {
-		return nil, ErrBadPacket
+		return dst, ErrBadPacket
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(pkt[3+8*i:]))
+	for i := 0; i < n; i++ {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(pkt[3+8*i:])))
 	}
 	d.lastOK = true
-	return out, nil
+	return dst, nil
 }
 
-// decodeBlock inverts one block and returns hop samples of finished output.
-func (d *Decoder) decodeBlock(pkt []byte) ([]float64, error) {
+// appendBlock inverts one block and appends hop samples of finished output.
+func (d *Decoder) appendBlock(dst []float64, pkt []byte) ([]float64, error) {
 	if len(pkt) < 3 || pkt[0] != magic || pkt[1] != blockTag {
-		return nil, ErrBadPacket
+		return dst, ErrBadPacket
 	}
 	nb := int(pkt[2])
 	if nb != len(d.bands) {
-		return nil, fmt.Errorf("%w: band count %d want %d", ErrBadPacket, nb, len(d.bands))
+		return dst, fmt.Errorf("%w: band count %d want %d", ErrBadPacket, nb, len(d.bands))
 	}
-	spec := make([]float64, d.nBins)
+	spec := d.spec
+	for i := range spec {
+		spec[i] = 0
+	}
 	pos := 3
 	for _, bd := range d.bands {
 		if pos+5 > len(pkt) {
-			return nil, ErrBadPacket
+			return dst, ErrBadPacket
 		}
 		scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(pkt[pos:])))
 		bitCount := int(pkt[pos+4])
@@ -408,29 +459,28 @@ func (d *Decoder) decodeBlock(pkt []byte) ([]float64, error) {
 		levels := float64(int(1) << clampBits(bitCount))
 		for bin := bd.lo; bin < bd.hi; bin++ {
 			if pos+2 > len(pkt) {
-				return nil, ErrBadPacket
+				return dst, ErrBadPacket
 			}
 			spec[bin] = dequantize(int16(binary.LittleEndian.Uint16(pkt[pos:])), scale, levels)
 			pos += 2
 		}
 	}
-	return d.synthesize(spec), nil
+	return d.appendSynthesis(dst, spec), nil
 }
 
-// synthesize inverts the spectrum (IMDCT), windows and overlap-adds,
-// returning the completed hop of output samples.
-func (d *Decoder) synthesize(spec []float64) []float64 {
+// appendSynthesis inverts the spectrum (IMDCT), windows and overlap-adds,
+// appending the completed hop of output samples to dst.
+func (d *Decoder) appendSynthesis(dst []float64, spec []float64) []float64 {
 	d.rememberSpectrum(spec)
-	td := dsp.IMDCT(spec)
+	d.td = d.mdct.Inverse(d.td, spec)
 	hop := d.prof.hop()
-	out := make([]float64, hop)
 	for i := 0; i < hop; i++ {
-		out[i] = d.overlap[i] + td[i]*d.window[i]
+		dst = append(dst, d.overlap[i]+d.td[i]*d.window[i])
 	}
 	for i := 0; i < hop; i++ {
-		d.overlap[i] = td[hop+i] * d.window[hop+i]
+		d.overlap[i] = d.td[hop+i] * d.window[hop+i]
 	}
-	return out
+	return dst
 }
 
 func (d *Decoder) rememberSpectrum(spec []float64) {
@@ -447,29 +497,35 @@ func (d *Decoder) rememberSpectrum(spec []float64) {
 // spectrum magnitudes with decayed energy (a standard PLC approximation).
 // Returns silence if no frame was ever decoded.
 func (d *Decoder) Conceal() []float64 {
+	return d.ConcealTo(nil)
+}
+
+// ConcealTo is Conceal appending the concealment frame to dst and returning
+// the extended slice.
+func (d *Decoder) ConcealTo(dst []float64) []float64 {
 	hop := d.prof.hop()
 	framesPerPacket := FrameSamples / hop
-	out := make([]float64, 0, FrameSamples)
 	for f := 0; f < framesPerPacket; f++ {
 		if !d.lastOK || d.last == nil {
-			chunk := make([]float64, hop)
 			for i := 0; i < hop; i++ {
-				chunk[i] = d.overlap[i]
+				dst = append(dst, d.overlap[i])
 				d.overlap[i] = 0
 			}
-			out = append(out, chunk...)
 			continue
 		}
-		spec := make([]float64, len(d.last))
+		if cap(d.cspec) < len(d.last) {
+			d.cspec = make([]float64, len(d.last))
+		}
+		spec := d.cspec[:len(d.last)]
 		for i, m := range d.last {
 			spec[i] = m * 0.5 // decayed, sign-flattened repeat
 		}
-		out = append(out, d.synthesize(spec)...)
+		dst = d.appendSynthesis(dst, spec)
 		for i := range d.last {
 			d.last[i] *= 0.5
 		}
 	}
-	return out
+	return dst
 }
 
 // Delay returns the codec's algorithmic delay in samples (one hop).
@@ -518,11 +574,4 @@ func RoundTripAligned(b *audio.Buffer, p Profile) (*audio.Buffer, error) {
 		end = rt.Len()
 	}
 	return audio.FromSamples(b.Rate, rt.Samples[d:end]), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,71 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSignal returns a deterministic pseudo-random signal.
+func benchSignal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// BenchmarkMarkerCorrelate measures one overlap-save correlation step at
+// Ekho's production size: a 1 s (48000-sample) marker template against a
+// full FFT-sized segment, the per-block cost of the streaming estimator.
+func BenchmarkMarkerCorrelate(b *testing.B) {
+	template := benchSignal(48000, 1)
+	c := NewMarkerCorrelator(template, NextPow2(2*len(template)))
+	seg := benchSignal(c.SegmentLen(), 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Correlate(seg)
+	}
+}
+
+// BenchmarkFFTPow2 measures the raw complex transform at the correlator's
+// production size.
+func BenchmarkFFTPow2(b *testing.B) {
+	const n = 131072
+	x := make([]complex128, n)
+	src := benchSignal(n, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range src {
+			x[j] = complex(v, 0)
+		}
+		fftPow2(x, false)
+	}
+}
+
+// BenchmarkMarkerCorrelateInto is the steady-state variant the estimator
+// actually runs: correlate into a reused destination buffer.
+func BenchmarkMarkerCorrelateInto(b *testing.B) {
+	template := benchSignal(48000, 1)
+	c := NewMarkerCorrelator(template, NextPow2(2*len(template)))
+	seg := benchSignal(c.SegmentLen(), 2)
+	dst := make([]float64, c.Step())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = c.CorrelateInto(dst, seg)
+	}
+}
+
+// BenchmarkBandPower measures the per-frame marker-band amplitude probe
+// (Eq. 2) that the injector runs on every 20 ms tick of every session.
+func BenchmarkBandPower(b *testing.B) {
+	x := benchSignal(960, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BandPower(x, 48000, 6000, 12000)
+	}
+}

@@ -32,6 +32,15 @@ func (q *Biquad) Apply(x []float64) []float64 {
 	return out
 }
 
+// ApplyInPlace filters the slice in place (no allocation), for callers
+// that own the buffer — the per-frame injector/acoustic paths. State
+// carries across the call like Apply.
+func (q *Biquad) ApplyInPlace(x []float64) {
+	for i, v := range x {
+		x[i] = q.Process(v)
+	}
+}
+
 // NewLowPassBiquad designs a Butterworth-style low-pass biquad (RBJ cookbook
 // formulation) with the given cutoff and Q.
 func NewLowPassBiquad(cutoff, sampleRate, qFactor float64) *Biquad {
@@ -96,6 +105,14 @@ func (c Chain) Apply(x []float64) []float64 {
 		out[i] = c.Process(v)
 	}
 	return out
+}
+
+// ApplyInPlace filters the slice through the cascade in place (no
+// allocation), for callers that own the buffer.
+func (c Chain) ApplyInPlace(x []float64) {
+	for i, v := range x {
+		x[i] = c.Process(v)
+	}
 }
 
 // Reset clears all section states.

@@ -4,15 +4,18 @@
 //
 // The paper's reference implementation uses FFTW; this package is a
 // self-contained, allocation-conscious replacement built only on the Go
-// standard library. Transform sizes that are powers of two use an iterative
-// radix-2 Cooley-Tukey FFT; all other sizes are handled with Bluestein's
-// chirp-z algorithm, so every length is supported.
+// standard library. Transform sizes that are powers of two use an
+// iterative radix-2 Cooley-Tukey FFT driven by precomputed, package-cached
+// plans (see plan.go); all other sizes are handled with Bluestein's
+// chirp-z algorithm over cached chirp tables, so every length is
+// supported.
 package dsp
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // FFT computes the in-place discrete Fourier transform of x when len(x) is a
@@ -53,14 +56,33 @@ func IFFT(x []complex128) []complex128 {
 
 // FFTReal transforms a real-valued signal, returning the full complex
 // spectrum of length NextPow2(len(x)) (zero padded). It is a convenience
-// wrapper used by the correlation and codec code paths.
+// wrapper used by the spectral analysis paths; internally it runs the
+// half-size packed real transform and mirrors the conjugate bins.
 func FFTReal(x []float64) []complex128 {
 	n := NextPow2(len(x))
 	buf := make([]complex128, n)
-	for i, v := range x {
-		buf[i] = complex(v, 0)
+	if n < 2 {
+		for i, v := range x {
+			buf[i] = complex(v, 0)
+		}
+		return buf
 	}
-	fftPow2(buf, false)
+	rp := RealPlanFor(n)
+	sc := realScratchPool.Get().(*realScratch)
+	f := growFloats(sc.f, n)
+	spec := growComplex(sc.c, rp.HalfLen())
+	copy(f, x)
+	for i := len(x); i < n; i++ {
+		f[i] = 0
+	}
+	rp.Forward(spec, f)
+	copy(buf, spec)
+	for k := n/2 + 1; k < n; k++ {
+		c := spec[n-k]
+		buf[k] = complex(real(c), -imag(c))
+	}
+	sc.f, sc.c = f, spec
+	realScratchPool.Put(sc)
 	return buf
 }
 
@@ -74,83 +96,95 @@ func NextPow2(n int) int {
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
-// fftPow2 is an iterative radix-2 decimation-in-time FFT. inverse selects
-// the conjugate transform (without scaling).
+// fftPow2 computes the in-place radix-2 FFT through the shared plan cache.
+// inverse selects the conjugate transform (without scaling).
 func fftPow2(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
+	if len(x) <= 1 {
 		return
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
+	p := PlanFor(len(x))
 	if inverse {
-		sign = 1.0
+		p.Inverse(x)
+	} else {
+		p.Forward(x)
 	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		// Precompute the principal root increment and iterate by
-		// multiplication; accurate enough for audio-band work and
-		// much cheaper than per-butterfly sincos.
-		wStep := complex(math.Cos(step), math.Sin(step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
+}
+
+// blueTables is the size-dependent, immutable setup of a Bluestein
+// (chirp-z) transform: the chirp, the forward FFT of the chirp kernel and
+// the power-of-two plan both FFTs run on. Cached per (size, direction).
+type blueTables struct {
+	n     int
+	m     int // NextPow2(2n-1)
+	chirp []complex128
+	bfft  []complex128
+	plan  *Plan
+}
+
+var blueCache sync.Map // [2]int{n, sign} -> *blueTables
+
+func blueTablesFor(n int, inverse bool) *blueTables {
+	sign := 0
+	if inverse {
+		sign = 1
+	}
+	key := [2]int{n, sign}
+	if t, ok := blueCache.Load(key); ok {
+		return t.(*blueTables)
+	}
+	m := NextPow2(2*n - 1)
+	t := &blueTables{n: n, m: m, plan: PlanFor(m)}
+	t.chirp = make([]complex128, n)
+	s := -1.0
+	if inverse {
+		s = 1.0
+	}
+	for k := 0; k < n; k++ {
+		phase := s * math.Pi * float64(k) * float64(k) / float64(n)
+		t.chirp[k] = complex(math.Cos(phase), math.Sin(phase))
+	}
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := t.chirp[k]
+		cc := complex(real(c), -imag(c))
+		b[k] = cc
+		if k > 0 {
+			b[m-k] = cc
 		}
+	}
+	t.plan.Forward(b)
+	t.bfft = b
+	actual, _ := blueCache.LoadOrStore(key, t)
+	return actual.(*blueTables)
+}
+
+// blueTransform runs one Bluestein DFT over cached tables. a is the m-long
+// work buffer (overwritten); dst receives the n outputs. dst may alias x.
+func (t *blueTables) transform(dst, x, a []complex128) {
+	for k := 0; k < t.n; k++ {
+		a[k] = x[k] * t.chirp[k]
+	}
+	for k := t.n; k < t.m; k++ {
+		a[k] = 0
+	}
+	t.plan.Forward(a)
+	for i := range a {
+		a[i] *= t.bfft[i]
+	}
+	t.plan.Inverse(a)
+	scale := complex(1/float64(t.m), 0)
+	for k := 0; k < t.n; k++ {
+		dst[k] = a[k] * scale * t.chirp[k]
 	}
 }
 
 // bluestein computes a DFT of arbitrary length via the chirp-z transform,
-// using three power-of-two FFTs.
+// using cached per-size tables and two power-of-two FFTs per call.
 func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	m := NextPow2(2*n - 1)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// chirp[k] = exp(sign*i*pi*k^2/n)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k may overflow for very large n; use modular phase.
-		phase := sign * math.Pi * float64(k) * float64(k) / float64(n)
-		chirp[k] = complex(math.Cos(phase), math.Sin(phase))
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		c := complex(real(chirp[k]), -imag(chirp[k])) // conj
-		b[k] = c
-		if k > 0 {
-			b[m-k] = c
-		}
-	}
-	fftPow2(a, false)
-	fftPow2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftPow2(a, true)
-	out := make([]complex128, n)
-	scale := 1 / float64(m)
-	for k := 0; k < n; k++ {
-		v := a[k] * complex(scale, 0)
-		out[k] = v * chirp[k]
-	}
+	t := blueTablesFor(len(x), inverse)
+	a := make([]complex128, t.m)
+	out := make([]complex128, t.n)
+	t.transform(out, x, a)
 	return out
 }
 
@@ -172,13 +206,18 @@ func Spectrum(x []float64, sampleRate float64) (mags, freqs []float64) {
 
 // BandPower returns the mean power of x within [lo, hi) Hz, computed in the
 // frequency domain. It is used by the marker amplitude tracker (Eq. 2) to
-// measure game-audio energy in the 6-12 kHz marker band.
+// measure game-audio energy in the 6-12 kHz marker band — once per 20 ms
+// frame per session, so it runs on the cached real-input plan with pooled
+// scratch and allocates nothing in steady state. The input is zero-padded
+// to NextPow2(len(x)) like FFTReal.
 func BandPower(x []float64, sampleRate, lo, hi float64) float64 {
 	if len(x) == 0 {
 		return 0
 	}
-	spec := FFTReal(x)
-	n := len(spec)
+	n := NextPow2(len(x))
+	if n < 2 {
+		n = 2
+	}
 	binHz := sampleRate / float64(n)
 	loBin := int(math.Ceil(lo / binHz))
 	hiBin := int(math.Floor(hi / binHz))
@@ -191,11 +230,22 @@ func BandPower(x []float64, sampleRate, lo, hi float64) float64 {
 	if loBin >= hiBin {
 		return 0
 	}
+	rp := RealPlanFor(n)
+	sc := realScratchPool.Get().(*realScratch)
+	f := growFloats(sc.f, n)
+	spec := growComplex(sc.c, rp.HalfLen())
+	copy(f, x)
+	for i := len(x); i < n; i++ {
+		f[i] = 0
+	}
+	rp.Forward(spec, f)
 	var sum float64
 	for i := loBin; i < hiBin; i++ {
 		re, im := real(spec[i]), imag(spec[i])
 		sum += re*re + im*im
 	}
+	sc.f, sc.c = f, spec
+	realScratchPool.Put(sc)
 	// Parseval with one-sided doubling, normalized per input sample.
 	return 2 * sum / (float64(n) * float64(len(x)))
 }

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Modified Discrete Cosine Transform with time-domain alias cancellation
 // (TDAC) — the transform real audio codecs (CELT inside OPUS, AAC) build
@@ -11,28 +14,99 @@ import "math"
 //	X[k] = Σ_{n=0}^{2N-1} x[n] · cos(π/N · (n + ½ + N/2) · (k + ½))
 //
 // The implementation folds the 2N-point input into an N-point DCT-IV and
-// evaluates the DCT-IV with one zero-padded FFT, so a 960-bin MDCT costs a
-// single 4096-point transform.
+// evaluates the DCT-IV with one zero-padded FFT. All size-dependent setup
+// — the pre/post twiddles and, for non-power-of-two lengths, the Bluestein
+// chirp tables — is computed once and cached at package level; an MDCTPlan
+// adds the per-instance scratch buffers so the steady-state transform
+// allocates nothing.
 
-// MDCT computes the N-point forward transform of a 2N-sample block.
-func MDCT(x []float64) []float64 {
-	n2 := len(x)
-	if n2%2 != 0 {
-		panic("dsp: MDCT input length must be even")
-	}
-	n := n2 / 2
-	u := foldMDCT(x, n)
-	return dctIV(u)
+// dct4Tables is the immutable size-dependent setup of a DCT-IV: the
+// pre-rotation applied to the input and the post-rotation applied to the
+// DFT output. Shared across all plans of one size.
+type dct4Tables struct {
+	pre  []complex128 // pre[i] = exp(-i·π·i/(2n))
+	post []complex128 // post[k] = exp(-i·π·(2k+1)/(4n))
 }
 
-// IMDCT computes the 2N-sample inverse (with time-domain aliasing) of an
-// N-bin spectrum. Overlap-adding two consecutive windowed IMDCT outputs
-// cancels the aliasing exactly when the window satisfies Princen-Bradley
-// (w[n]² + w[n+N]² = 1).
-func IMDCT(spec []float64) []float64 {
-	n := len(spec)
-	d := dctIV(spec)
-	out := make([]float64, 2*n)
+var dct4Cache sync.Map // int -> *dct4Tables
+
+func dct4TablesFor(n int) *dct4Tables {
+	if t, ok := dct4Cache.Load(n); ok {
+		return t.(*dct4Tables)
+	}
+	a := math.Pi / float64(n)
+	t := &dct4Tables{
+		pre:  make([]complex128, n),
+		post: make([]complex128, n),
+	}
+	for i := 0; i < n; i++ {
+		s, c := math.Sincos(-a * float64(i) / 2)
+		t.pre[i] = complex(c, s)
+		s, c = math.Sincos(-a * (float64(i)/2 + 0.25))
+		t.post[i] = complex(c, s)
+	}
+	actual, _ := dct4Cache.LoadOrStore(n, t)
+	return actual.(*dct4Tables)
+}
+
+// MDCTPlan computes N-bin forward and inverse MDCTs over shared cached
+// tables with private scratch, so repeated transforms allocate nothing.
+// A plan is NOT safe for concurrent use (the scratch is shared between
+// calls); give each goroutine its own — the expensive tables are shared
+// underneath.
+type MDCTPlan struct {
+	n    int // spectral bins per block (block length 2n)
+	tabs *dct4Tables
+	plan *Plan       // 2n-point DFT when 2n is a power of two
+	blu  *blueTables // otherwise
+	buf  []complex128
+	ba   []complex128 // bluestein work area (nil when plan != nil)
+	fold []float64
+}
+
+// NewMDCTPlan returns a plan for nBins-bin MDCT blocks (2·nBins samples).
+func NewMDCTPlan(nBins int) *MDCTPlan {
+	if nBins <= 0 {
+		panic("dsp: NewMDCTPlan requires nBins > 0")
+	}
+	p := &MDCTPlan{
+		n:    nBins,
+		tabs: dct4TablesFor(nBins),
+		buf:  make([]complex128, 2*nBins),
+		fold: make([]float64, nBins),
+	}
+	if isPow2(2 * nBins) {
+		p.plan = PlanFor(2 * nBins)
+	} else {
+		p.blu = blueTablesFor(2*nBins, false)
+		p.ba = make([]complex128, p.blu.m)
+	}
+	return p
+}
+
+// Bins returns the spectral bin count N (block length is 2N).
+func (p *MDCTPlan) Bins() int { return p.n }
+
+// Forward computes the N-point MDCT of the 2N-sample block x into dst,
+// which is grown (reusing capacity) to N and returned.
+func (p *MDCTPlan) Forward(dst, x []float64) []float64 {
+	CheckLen("MDCT block", len(x), 2*p.n)
+	foldMDCTInto(p.fold, x, p.n)
+	dst = growFloats(dst, p.n)
+	p.dct4Into(dst, p.fold)
+	return dst
+}
+
+// Inverse computes the 2N-sample IMDCT (with time-domain aliasing) of the
+// N-bin spectrum into dst, which is grown (reusing capacity) to 2N and
+// returned. Overlap-adding two consecutive windowed outputs cancels the
+// aliasing exactly when the window satisfies Princen-Bradley.
+func (p *MDCTPlan) Inverse(dst, spec []float64) []float64 {
+	CheckLen("IMDCT spectrum", len(spec), p.n)
+	n := p.n
+	p.dct4Into(p.fold, spec)
+	d := p.fold
+	dst = growFloats(dst, 2*n)
 	scale := 2.0 / float64(n)
 	for i := 0; i < 2*n; i++ {
 		m := i + n/2
@@ -45,15 +119,38 @@ func IMDCT(spec []float64) []float64 {
 		default: // m < 2n + n/2
 			v = -d[m-2*n]
 		}
-		out[i] = v * scale
+		dst[i] = v * scale
 	}
-	return out
+	return dst
 }
 
-// foldMDCT maps the 2N input samples onto the N-point DCT-IV domain using
-// the standard TDAC boundary symmetries.
-func foldMDCT(x []float64, n int) []float64 {
-	u := make([]float64, n)
+// dct4Into evaluates the DCT-IV
+//
+//	X[k] = Σ_{n=0}^{N-1} u[n] · cos(π/N · (n+½)(k+½))
+//
+// via a zero-padded 2N-point DFT with cached pre/post twiddles. dst and u
+// may alias.
+func (p *MDCTPlan) dct4Into(dst, u []float64) {
+	n := p.n
+	for i, v := range u {
+		p.buf[i] = p.tabs.pre[i] * complex(v, 0)
+	}
+	for i := n; i < 2*n; i++ {
+		p.buf[i] = 0
+	}
+	if p.plan != nil {
+		p.plan.Forward(p.buf)
+	} else {
+		p.blu.transform(p.buf, p.buf, p.ba)
+	}
+	for k := 0; k < n; k++ {
+		dst[k] = real(p.tabs.post[k] * p.buf[k])
+	}
+}
+
+// foldMDCTInto maps the 2N input samples onto the N-point DCT-IV domain
+// using the standard TDAC boundary symmetries.
+func foldMDCTInto(u, x []float64, n int) {
 	half := n / 2
 	for i := 0; i < half; i++ {
 		u[i] = -x[3*half-1-i] - x[3*half+i]
@@ -61,33 +158,47 @@ func foldMDCT(x []float64, n int) []float64 {
 	for i := half; i < n; i++ {
 		u[i] = x[i-half] - x[3*half-1-i]
 	}
-	return u
 }
 
-// dctIV evaluates the DCT-IV
-//
-//	X[k] = Σ_{n=0}^{N-1} u[n] · cos(π/N · (n+½)(k+½))
-//
-// via a zero-padded 2N-point FFT with pre/post twiddles.
-func dctIV(u []float64) []float64 {
-	n := len(u)
-	if n == 0 {
+// mdctPool hands out per-size plans for the one-shot MDCT/IMDCT helpers so
+// casual callers also hit the cached tables without allocating scratch
+// every call.
+var mdctPool sync.Map // int -> *sync.Pool
+
+func pooledMDCTPlan(n int) (*MDCTPlan, *sync.Pool) {
+	pl, ok := mdctPool.Load(n)
+	if !ok {
+		pl, _ = mdctPool.LoadOrStore(n, &sync.Pool{New: func() any { return NewMDCTPlan(n) }})
+	}
+	pool := pl.(*sync.Pool)
+	return pool.Get().(*MDCTPlan), pool
+}
+
+// MDCT computes the N-point forward transform of a 2N-sample block.
+func MDCT(x []float64) []float64 {
+	n2 := len(x)
+	if n2%2 != 0 {
+		panic("dsp: MDCT input length must be even")
+	}
+	if n2 == 0 {
 		return nil
 	}
-	a := math.Pi / float64(n)
-	// Exact length-2n DFT (the FFT dispatches to Bluestein for non-power-
-	// of-two sizes, so every n is supported).
-	buf := make([]complex128, 2*n)
-	for i, v := range u {
-		phase := -a * float64(i) / 2
-		buf[i] = complex(v*math.Cos(phase), v*math.Sin(phase))
+	p, pool := pooledMDCTPlan(n2 / 2)
+	out := p.Forward(nil, x)
+	pool.Put(p)
+	return out
+}
+
+// IMDCT computes the 2N-sample inverse (with time-domain aliasing) of an
+// N-bin spectrum. Overlap-adding two consecutive windowed IMDCT outputs
+// cancels the aliasing exactly when the window satisfies Princen-Bradley
+// (w[n]² + w[n+N]² = 1).
+func IMDCT(spec []float64) []float64 {
+	if len(spec) == 0 {
+		return make([]float64, 0)
 	}
-	spec := FFT(buf)
-	out := make([]float64, n)
-	for k := 0; k < n; k++ {
-		post := -a * (float64(k)/2 + 0.25)
-		c := complex(math.Cos(post), math.Sin(post))
-		out[k] = real(c * spec[k])
-	}
+	p, pool := pooledMDCTPlan(len(spec))
+	out := p.Inverse(nil, spec)
+	pool.Put(p)
 	return out
 }

@@ -1,18 +1,24 @@
 package dsp
 
-import "math/cmplx"
-
 // MarkerCorrelator performs streaming cross-correlation against a fixed
 // template using the overlap-save method with a cached template FFT.
 // Compared to calling CrossCorrelate per chunk — which pays a forward FFT
 // of the template every time and re-transforms the template-length overlap
 // — a correlator amortizes to roughly two FFTs per Step() lags, an
 // order-of-magnitude saving when the template is long (Ekho's 1 s marker).
+//
+// Both the segment and the template are real, so the transforms run on the
+// shared RealPlan (half-size complex FFT + O(n) packing): the per-step
+// butterfly work is half that of the complex formulation, and the plan
+// tables are shared across every correlator of the same size — each hub
+// session costs only its template spectrum and scratch buffers.
 type MarkerCorrelator struct {
 	n    int          // FFT size
 	m    int          // template length
-	wfft []complex128 // conj(FFT(template)), cached
-	buf  []complex128 // reusable transform buffer
+	rp   *RealPlan    // shared transform plan
+	wfft []complex128 // conj(FFT(template)) half spectrum, cached
+	spec []complex128 // reusable half-spectrum scratch
+	td   []float64    // reusable time-domain scratch
 }
 
 // NewMarkerCorrelator prepares a correlator for the template. fftSize must
@@ -22,20 +28,24 @@ func NewMarkerCorrelator(template []float64, fftSize int) *MarkerCorrelator {
 	if fftSize < NextPow2(len(template)+1) {
 		fftSize = NextPow2(2 * len(template))
 	}
-	w := make([]complex128, fftSize)
-	for i, v := range template {
-		w[i] = complex(v, 0)
+	if fftSize < 2 {
+		fftSize = 2
 	}
-	fftPow2(w, false)
-	for i := range w {
-		w[i] = cmplx.Conj(w[i])
-	}
-	return &MarkerCorrelator{
+	rp := RealPlanFor(fftSize)
+	c := &MarkerCorrelator{
 		n:    fftSize,
 		m:    len(template),
-		wfft: w,
-		buf:  make([]complex128, fftSize),
+		rp:   rp,
+		wfft: make([]complex128, rp.HalfLen()),
+		spec: make([]complex128, rp.HalfLen()),
+		td:   make([]float64, fftSize),
 	}
+	copy(c.td, template)
+	rp.Forward(c.wfft, c.td)
+	for i, v := range c.wfft {
+		c.wfft[i] = complex(real(v), -imag(v))
+	}
+	return c
 }
 
 // Step returns the number of correlation lags produced per Correlate call.
@@ -46,23 +56,25 @@ func (c *MarkerCorrelator) Step() int { return c.n - c.m + 1 }
 // the FFT size exactly.
 func (c *MarkerCorrelator) SegmentLen() int { return c.n }
 
-// Correlate computes Z[t] = Σ seg[t+i]·w[i] for t = 0..Step()-1. seg must
+// CorrelateInto computes Z[t] = Σ seg[t+i]·w[i] for t = 0..Step()-1 into
+// dst, which is grown (reusing capacity) to Step() and returned. seg must
 // be exactly SegmentLen() samples (the trailing m-1 samples overlap the
-// next call's head). The returned slice is freshly allocated.
-func (c *MarkerCorrelator) Correlate(seg []float64) []float64 {
+// next call's head). With a reused dst the steady state allocates nothing.
+func (c *MarkerCorrelator) CorrelateInto(dst, seg []float64) []float64 {
 	CheckLen("overlap-save segment", len(seg), c.n)
-	for i, v := range seg {
-		c.buf[i] = complex(v, 0)
+	c.rp.Forward(c.spec, seg)
+	for i := range c.spec {
+		c.spec[i] *= c.wfft[i]
 	}
-	fftPow2(c.buf, false)
-	for i := range c.buf {
-		c.buf[i] *= c.wfft[i]
-	}
-	fftPow2(c.buf, true)
-	out := make([]float64, c.Step())
-	scale := 1 / float64(c.n)
-	for t := range out {
-		out[t] = real(c.buf[t]) * scale
-	}
-	return out
+	c.rp.Inverse(c.td, c.spec)
+	dst = growFloats(dst, c.Step())
+	copy(dst, c.td[:len(dst)])
+	return dst
+}
+
+// Correlate is CorrelateInto with a freshly allocated result. The
+// steady-state streaming path (IncrementalDetector) uses CorrelateInto
+// with a reused buffer instead.
+func (c *MarkerCorrelator) Correlate(seg []float64) []float64 {
+	return c.CorrelateInto(make([]float64, c.Step()), seg)
 }

@@ -1,0 +1,240 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// This file is the plan-based transform engine. A Plan holds everything a
+// power-of-two FFT needs that depends only on the size — the bit-reversal
+// permutation and the twiddle-factor table — so the per-call work is pure
+// butterflies over precomputed tables. Plans are immutable after
+// construction and cached at package level (PlanFor / RealPlanFor): every
+// hub session correlating against the same marker length, and every codec
+// instance of the same profile, shares one set of tables instead of paying
+// setup cost per call or per session.
+//
+// RealPlan adds the standard N/2 complex-packing trick for real-valued
+// input: the N-point real transform runs as one N/2-point complex
+// transform plus an O(N) unpacking pass, halving the butterfly work for
+// the correlator and the MDCT codec whose signals are always real.
+
+// Plan is a precomputed power-of-two FFT: bit-reversal swap pairs plus the
+// twiddle table w[k] = exp(-2πik/n). Plans are stateless (no scratch), so
+// one cached instance is safe for concurrent use from many goroutines.
+type Plan struct {
+	n     int
+	pairs []int32      // bit-reversal swaps, flattened (i, j) pairs with i < j
+	w     []complex128 // w[k] = exp(-2πik/n) for k < n/2
+}
+
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns the shared plan for a power-of-two size n. All callers
+// of the same size receive the same immutable plan.
+func PlanFor(n int) *Plan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*Plan)
+	}
+	if !isPow2(n) {
+		panic(fmt.Sprintf("dsp: PlanFor size %d is not a power of two", n))
+	}
+	p, _ := planCache.LoadOrStore(n, newPlan(n))
+	return p.(*Plan)
+}
+
+func newPlan(n int) *Plan {
+	p := &Plan{n: n}
+	if n < 2 {
+		return p
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		if j := int(bits.Reverse64(uint64(i)) >> shift); j > i {
+			p.pairs = append(p.pairs, int32(i), int32(j))
+		}
+	}
+	p.w = make([]complex128, n/2)
+	for k := range p.w {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.w[k] = complex(c, s)
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the in-place unscaled DFT of x. len(x) must equal the
+// plan size.
+func (p *Plan) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse computes the in-place unscaled conjugate (inverse) DFT of x;
+// divide by Size() for the true inverse.
+func (p *Plan) Inverse(x []complex128) { p.transform(x, true) }
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	CheckLen("plan transform input", len(x), p.n)
+	n := p.n
+	if n < 2 {
+		return
+	}
+	for i := 0; i < len(p.pairs); i += 2 {
+		a, b := p.pairs[i], p.pairs[i+1]
+		x[a], x[b] = x[b], x[a]
+	}
+	// First stage (size 2): unit twiddles only.
+	for i := 0; i < n; i += 2 {
+		a, b := x[i], x[i+1]
+		x[i], x[i+1] = a+b, a-b
+	}
+	// Remaining stages share the n/2-entry twiddle table with stride
+	// n/size: w_size^k = w_n^(k·n/size).
+	for size := 4; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			a, b := x[start], x[start+half]
+			x[start], x[start+half] = a+b, a-b
+			ti := stride
+			if inverse {
+				for k := start + 1; k < start+half; k++ {
+					w := p.w[ti]
+					b := x[k+half] * complex(real(w), -imag(w))
+					a := x[k]
+					x[k], x[k+half] = a+b, a-b
+					ti += stride
+				}
+			} else {
+				for k := start + 1; k < start+half; k++ {
+					b := x[k+half] * p.w[ti]
+					a := x[k]
+					x[k], x[k+half] = a+b, a-b
+					ti += stride
+				}
+			}
+		}
+	}
+}
+
+// RealPlan transforms real-valued signals of power-of-two length n (≥ 2)
+// using one n/2-point complex transform plus O(n) packing, roughly halving
+// the work of a full complex FFT. Like Plan it is stateless, cached and
+// safe for concurrent use.
+type RealPlan struct {
+	n    int
+	half *Plan        // complex plan of size n/2
+	rt   []complex128 // rt[k] = exp(-2πik/n) for k ≤ n/4
+}
+
+var realPlanCache sync.Map // int -> *RealPlan
+
+// RealPlanFor returns the shared real-input plan for a power-of-two size
+// n ≥ 2.
+func RealPlanFor(n int) *RealPlan {
+	if p, ok := realPlanCache.Load(n); ok {
+		return p.(*RealPlan)
+	}
+	if !isPow2(n) || n < 2 {
+		panic(fmt.Sprintf("dsp: RealPlanFor size %d is not a power of two ≥ 2", n))
+	}
+	m := n / 2
+	p := &RealPlan{n: n, half: PlanFor(m)}
+	p.rt = make([]complex128, m/2+1)
+	for k := range p.rt {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.rt[k] = complex(c, s)
+	}
+	actual, _ := realPlanCache.LoadOrStore(n, p)
+	return actual.(*RealPlan)
+}
+
+// Size returns the real input length n.
+func (p *RealPlan) Size() int { return p.n }
+
+// HalfLen returns the half-spectrum length n/2 + 1 (bins 0..n/2; the
+// remaining bins of the full spectrum are the conjugate mirror).
+func (p *RealPlan) HalfLen() int { return p.n/2 + 1 }
+
+// Forward computes the half spectrum X[0..n/2] of the real signal src
+// into dst. len(src) must be Size() and len(dst) HalfLen(). Bins 0 and
+// n/2 are purely real.
+func (p *RealPlan) Forward(dst []complex128, src []float64) {
+	CheckLen("real plan input", len(src), p.n)
+	CheckLen("real plan spectrum", len(dst), p.HalfLen())
+	m := p.n / 2
+	z := dst[:m]
+	for j := 0; j < m; j++ {
+		z[j] = complex(src[2*j], src[2*j+1])
+	}
+	p.half.Forward(z)
+	z0 := z[0]
+	dst[m] = complex(real(z0)-imag(z0), 0)
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	for k := 1; k <= m/2; k++ {
+		zk, zmk := z[k], z[m-k]
+		cz := complex(real(zmk), -imag(zmk))
+		fe := (zk + cz) * 0.5
+		fo := (zk - cz) * complex(0, -0.5) // (zk - conj(zmk)) / 2i
+		v := p.rt[k] * fo
+		u := fe + v
+		d := fe - v
+		dst[k] = u
+		dst[m-k] = complex(real(d), -imag(d))
+	}
+}
+
+// Inverse recovers the real signal from its half spectrum, applying the
+// full 1/n scaling so Inverse∘Forward is the identity. len(dst) must be
+// Size() and len(spec) HalfLen(). spec is used as scratch and destroyed.
+func (p *RealPlan) Inverse(dst []float64, spec []complex128) {
+	CheckLen("real plan output", len(dst), p.n)
+	CheckLen("real plan spectrum", len(spec), p.HalfLen())
+	m := p.n / 2
+	x0, xm := real(spec[0]), real(spec[m])
+	spec[0] = complex((x0+xm)/2, (x0-xm)/2)
+	for k := 1; k <= m/2; k++ {
+		xk, xmk := spec[k], spec[m-k]
+		cx := complex(real(xmk), -imag(xmk))
+		fe := (xk + cx) * 0.5
+		v := (xk - cx) * 0.5 // = rt[k]·Fo[k]
+		w := p.rt[k]
+		fo := complex(real(w), -imag(w)) * v
+		spec[k] = fe + complex(0, 1)*fo
+		spec[m-k] = complex(real(fe), -imag(fe)) + complex(0, 1)*complex(real(fo), -imag(fo))
+	}
+	z := spec[:m]
+	p.half.Inverse(z)
+	scale := 1 / float64(m)
+	for j := 0; j < m; j++ {
+		dst[2*j] = real(z[j]) * scale
+		dst[2*j+1] = imag(z[j]) * scale
+	}
+}
+
+// realScratch bundles the padded-input and spectrum buffers the pooled
+// real-transform helpers (BandPower) reuse across calls.
+type realScratch struct {
+	f []float64
+	c []complex128
+}
+
+var realScratchPool = sync.Pool{New: func() any { return new(realScratch) }}
+
+// growFloats returns s resized to n, reusing capacity when possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growComplex returns s resized to n, reusing capacity when possible.
+func growComplex(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		return make([]complex128, n)
+	}
+	return s[:n]
+}

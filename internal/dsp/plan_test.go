@@ -1,0 +1,235 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// planNaiveDFT is the O(n²) reference the plan engine is checked against.
+func planNaiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			phase := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, phase))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func planRandComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestPlanMatchesNaiveDFT checks the iterative plan transform against the
+// direct DFT on randomized inputs across every size the system uses.
+func TestPlanMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		x := planRandComplex(n, int64(n))
+		want := planNaiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		PlanFor(n).Forward(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+		// Inverse (unscaled conjugate transform).
+		wantInv := planNaiveDFT(x, true)
+		gotInv := append([]complex128(nil), x...)
+		PlanFor(n).Inverse(gotInv)
+		for k := range wantInv {
+			if cmplx.Abs(gotInv[k]-wantInv[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d inverse bin %d: got %v want %v", n, k, gotInv[k], wantInv[k])
+			}
+		}
+	}
+}
+
+// TestRealPlanMatchesComplexFFT checks the packed real transform against a
+// full complex FFT of the same signal.
+func TestRealPlanMatchesComplexFFT(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 32, 128, 2048} {
+		x := benchSignal(n, int64(n))
+		full := make([]complex128, n)
+		for i, v := range x {
+			full[i] = complex(v, 0)
+		}
+		full = FFT(full)
+
+		rp := RealPlanFor(n)
+		spec := make([]complex128, rp.HalfLen())
+		rp.Forward(spec, x)
+		for k := 0; k <= n/2; k++ {
+			if cmplx.Abs(spec[k]-full[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: got %v want %v", n, k, spec[k], full[k])
+			}
+		}
+	}
+}
+
+// TestRealPlanRoundTrip checks Inverse∘Forward ≈ identity.
+func TestRealPlanRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 512, 4096} {
+		x := benchSignal(n, int64(n)+77)
+		rp := RealPlanFor(n)
+		spec := make([]complex128, rp.HalfLen())
+		rp.Forward(spec, x)
+		back := make([]float64, n)
+		rp.Inverse(back, spec)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: got %g want %g", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+// TestPlanCacheConcurrency hammers the package-level caches from many
+// goroutines (run with -race): plan lookup, real transforms, pooled helpers
+// and correlators all sharing tables.
+func TestPlanCacheConcurrency(t *testing.T) {
+	template := benchSignal(512, 9)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			x := benchSignal(1024, seed)
+			c := NewMarkerCorrelator(template, 2048)
+			seg := benchSignal(c.SegmentLen(), seed+1)
+			dst := make([]float64, 0)
+			for i := 0; i < 20; i++ {
+				_ = FFTReal(x)
+				_ = BandPower(x, 48000, 6000, 12000)
+				dst = c.CorrelateInto(dst, seg)
+				_ = MDCT(benchSignal(240, seed+int64(i)))
+				p := PlanFor(256)
+				buf := planRandComplex(256, seed)
+				p.Forward(buf)
+				p.Inverse(buf)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestCorrelateIntoMatchesDirect verifies the overlap-save output against
+// the O(n·m) direct correlation, and that the steady state is allocation
+// free.
+func TestCorrelateIntoMatchesDirect(t *testing.T) {
+	template := benchSignal(300, 4)
+	c := NewMarkerCorrelator(template, 1024)
+	seg := benchSignal(c.SegmentLen(), 5)
+
+	want := make([]float64, c.Step())
+	for lag := range want {
+		var sum float64
+		for i, w := range template {
+			sum += seg[lag+i] * w
+		}
+		want[lag] = sum
+	}
+	got := c.Correlate(seg)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*float64(len(template)) {
+			t.Fatalf("lag %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+
+	dst := make([]float64, c.Step())
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = c.CorrelateInto(dst, seg)
+	})
+	if allocs != 0 {
+		t.Fatalf("CorrelateInto allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestBandPowerZeroAlloc asserts the per-frame marker-band probe stays off
+// the heap in steady state.
+func TestBandPowerZeroAlloc(t *testing.T) {
+	x := benchSignal(960, 6)
+	_ = BandPower(x, 48000, 6000, 12000) // warm the pool and plan cache
+	allocs := testing.AllocsPerRun(50, func() {
+		_ = BandPower(x, 48000, 6000, 12000)
+	})
+	if allocs != 0 {
+		t.Fatalf("BandPower allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestApplyInPlaceMatchesApply checks the allocation-free biquad variants
+// against the allocating ones.
+func TestApplyInPlaceMatchesApply(t *testing.T) {
+	x := benchSignal(480, 7)
+	q1 := NewLowPassBiquad(8000, 48000, 0.707)
+	q2 := NewLowPassBiquad(8000, 48000, 0.707)
+	want := q1.Apply(x)
+	got := append([]float64(nil), x...)
+	q2.ApplyInPlace(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("biquad sample %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+
+	c1 := Chain{NewHighPassBiquad(200, 48000, 0.707), NewPeakingBiquad(3000, 48000, 1.2, 4)}
+	c2 := Chain{NewHighPassBiquad(200, 48000, 0.707), NewPeakingBiquad(3000, 48000, 1.2, 4)}
+	want = c1.Apply(x)
+	got = append([]float64(nil), x...)
+	c2.ApplyInPlace(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain sample %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMDCTPlanMatchesOneShot checks plan-based MDCT/IMDCT against the
+// package-level helpers across pow2 and non-pow2 bin counts.
+func TestMDCTPlanMatchesOneShot(t *testing.T) {
+	for _, nBins := range []int{64, 240, 960} {
+		x := benchSignal(2*nBins, int64(nBins))
+		want := MDCT(x)
+		p := NewMDCTPlan(nBins)
+		got := p.Forward(nil, x)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-9*float64(nBins) {
+				t.Fatalf("nBins=%d bin %d: got %g want %g", nBins, k, got[k], want[k])
+			}
+		}
+		wantInv := IMDCT(want)
+		gotInv := p.Inverse(nil, got)
+		for i := range wantInv {
+			if math.Abs(gotInv[i]-wantInv[i]) > 1e-9 {
+				t.Fatalf("nBins=%d sample %d: got %g want %g", nBins, i, gotInv[i], wantInv[i])
+			}
+		}
+		// Steady state with reused buffers allocates nothing.
+		spec := make([]float64, nBins)
+		td := make([]float64, 2*nBins)
+		allocs := testing.AllocsPerRun(20, func() {
+			spec = p.Forward(spec, x)
+			td = p.Inverse(td, spec)
+		})
+		if allocs != 0 {
+			t.Fatalf("nBins=%d: MDCTPlan allocates %v per op, want 0", nBins, allocs)
+		}
+	}
+}

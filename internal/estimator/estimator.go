@@ -185,7 +185,7 @@ func filterPeaks(peaks []int, env []float64, cfg Config) []Detection {
 	for _, t := range peaks {
 		// Dominance: no larger envelope value within ±δ.
 		dominant := true
-		for j := maxInt(0, t-delta); j <= minInt(len(env)-1, t+delta); j++ {
+		for j := max(0, t-delta); j <= min(len(env)-1, t+delta); j++ {
 			if env[j] > env[t] {
 				dominant = false
 				break
@@ -352,16 +352,4 @@ func ComputeStages(rec []float64, cfg Config) Stages {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -48,6 +48,8 @@ type IncrementalDetector struct {
 	// Peak bookkeeping for Eq. 7.
 	pending []pendingPeak
 	out     []Detection
+
+	zbuf []float64 // reused overlap-save output block
 }
 
 type pendingPeak struct {
@@ -98,7 +100,8 @@ func (d *IncrementalDetector) correlate(force bool) {
 	// Process as many full overlap-save blocks as available.
 	for d.corr != nil && recEnd-d.zNext >= d.corr.SegmentLen() {
 		off := d.zNext - d.recBase
-		d.appendZ(d.corr.Correlate(d.rec[off : off+d.corr.SegmentLen()]))
+		d.zbuf = d.corr.CorrelateInto(d.zbuf, d.rec[off:off+d.corr.SegmentLen()])
+		d.appendZ(d.zbuf)
 		d.dropCoveredAudio()
 	}
 	if !force {
@@ -135,7 +138,8 @@ func (d *IncrementalDetector) dropCoveredAudio() {
 		if drop > len(d.rec) {
 			drop = len(d.rec)
 		}
-		d.rec = append([]float64(nil), d.rec[drop:]...)
+		n := copy(d.rec, d.rec[drop:])
+		d.rec = d.rec[:n]
 		d.recBase += drop
 	}
 }
@@ -207,7 +211,7 @@ func (d *IncrementalDetector) checkPeaks() {
 			continue
 		}
 		dominant := true
-		for j := maxInt(0, i-delta); j <= i+delta && j < len(d.env); j++ {
+		for j := max(0, i-delta); j <= i+delta && j < len(d.env); j++ {
 			if d.env[j] > v {
 				dominant = false
 				break
@@ -220,7 +224,8 @@ func (d *IncrementalDetector) checkPeaks() {
 	}
 	// Trim envelope history: only δ of lookbehind is ever needed again.
 	if cut := d.peakNext - delta - 2 - d.envBase; cut > 8*delta {
-		d.env = append([]float64(nil), d.env[cut:]...)
+		n := copy(d.env, d.env[cut:])
+		d.env = d.env[:n]
 		d.envBase += cut
 	}
 }
@@ -259,7 +264,7 @@ func (d *IncrementalDetector) confirm() {
 		}
 		kept = append(kept, p)
 	}
-	d.pending = append([]pendingPeak(nil), kept...)
+	d.pending = kept
 }
 
 // hasPeakNear reports whether any pending/confirmed peak lies within
@@ -281,11 +286,11 @@ func (d *IncrementalDetector) trimZ() {
 	}
 	cut -= d.cfg.NormWindow // keep the live normalization window
 	base := d.zPrefix[cut]
-	d.z = append([]float64(nil), d.z[cut:]...)
-	newPrefix := make([]float64, len(d.zPrefix)-cut)
-	for j := range newPrefix {
-		newPrefix[j] = d.zPrefix[cut+j] - base
+	n := copy(d.z, d.z[cut:])
+	d.z = d.z[:n]
+	for j := 0; j+cut < len(d.zPrefix); j++ {
+		d.zPrefix[j] = d.zPrefix[cut+j] - base
 	}
-	d.zPrefix = newPrefix
+	d.zPrefix = d.zPrefix[:len(d.zPrefix)-cut]
 	d.zBase += cut
 }

@@ -49,7 +49,7 @@ func runExtensions(s Scale) *Report {
 		}
 	}
 	p95 := analysis.Percentile(skews, 0.95)
-	matchedPct := 100 * float64(matched) / float64(maxInt(len(res.Haptics), 1))
+	matchedPct := 100 * float64(matched) / float64(max(len(res.Haptics), 1))
 	r.addf("haptics: %d events, %.0f%% matched; post-convergence |skew| p95 = %.1f ms (perception threshold 24 ms)",
 		len(res.Haptics), matchedPct, p95)
 	r.set("haptic_skew_p95_ms", p95)
@@ -103,9 +103,3 @@ func runExtensions(s Scale) *Report {
 	return r
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

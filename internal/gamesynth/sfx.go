@@ -30,22 +30,16 @@ func SFX(rng *rand.Rand, seconds float64) *audio.Buffer {
 		}
 		switch rng.Intn(4) {
 		case 0, 1:
-			gunshot(rng, out.Samples[pos:minInt(pos+rate/4, n)])
+			gunshot(rng, out.Samples[pos:min(pos+rate/4, n)])
 		case 2:
-			impact(rng, out.Samples[pos:minInt(pos+rate/6, n)])
+			impact(rng, out.Samples[pos:min(pos+rate/6, n)])
 		case 3:
-			explosion(rng, out.Samples[pos:minInt(pos+rate, n)])
+			explosion(rng, out.Samples[pos:min(pos+rate, n)])
 		}
 	}
 	return out.Normalize(0.75)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 // gunshot: a sharp broadband noise burst with a very fast attack and an
 // exponential decay of ~60 ms, plus a low-frequency thump.

@@ -32,7 +32,7 @@ const MaxPlausibleISDSeconds = 0.3
 // stream and the recording. Both buffers must share a sample rate; the
 // search considers circular lags up to ±len/2.
 func Estimate(ref, rec *audio.Buffer) float64 {
-	n := maxInt(ref.Len(), rec.Len())
+	n := max(ref.Len(), rec.Len())
 	if n == 0 {
 		return 0
 	}
@@ -95,7 +95,7 @@ func EstimateWindowed(ref, rec *audio.Buffer, windowSeconds float64) []Measureme
 	if win <= 0 {
 		return nil
 	}
-	n := minInt(ref.Len(), rec.Len())
+	n := min(ref.Len(), rec.Len())
 	var out []Measurement
 	for start := 0; start+win <= n; start += win {
 		r := Estimate(ref.Slice(start, start+win), rec.Slice(start, start+win))
@@ -120,7 +120,7 @@ func EstimateGrowing(ref, rec *audio.Buffer, stepSeconds float64) []Measurement 
 	if step <= 0 {
 		return nil
 	}
-	n := minInt(ref.Len(), rec.Len())
+	n := min(ref.Len(), rec.Len())
 	var out []Measurement
 	for end := step; end <= n; end += step {
 		r := Estimate(ref.Slice(0, end), rec.Slice(0, end))
@@ -189,16 +189,4 @@ func EstimateSegments(ref, rec *audio.Buffer, segSeconds float64) []Measurement 
 	return out
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -408,16 +408,6 @@ func (h *Hub) send(b []byte, to net.Addr) {
 	h.stats.packetsOut.Add(1)
 }
 
-// sendMedia encodes and transmits one media frame.
-func (h *Hub) sendMedia(to net.Addr, m transport.Media) {
-	b, err := transport.EncodeMedia(m)
-	if err != nil {
-		h.stats.sendErrs.Add(1)
-		return
-	}
-	h.send(b, to)
-}
-
 // isTimeout reports whether err is a read-deadline expiry.
 func isTimeout(err error) bool {
 	if errors.Is(err, os.ErrDeadlineExceeded) {

@@ -320,6 +320,12 @@ type loopbackClient struct {
 	mu       sync.Mutex
 	pending  []transport.PlaybackRecord
 	rejected atomic.Bool
+
+	// screenLoop scratch (single goroutine): MemNet.SendTo copies the
+	// datagram, so the chat buffer is reusable across sends.
+	mic  []float64
+	enc2 []byte
+	chat []byte
 }
 
 func (c *loopbackClient) run(rejCh chan<- uint32) {
@@ -383,24 +389,29 @@ func (c *loopbackClient) screenLoop(rejCh chan<- uint32) {
 			c.reject(rejCh)
 		case transport.TypeMedia:
 			md := msg.Media
-			buf := make([]float64, len(md.Samples))
+			if cap(c.mic) < len(md.Samples) {
+				c.mic = make([]float64, len(md.Samples))
+			}
+			buf := c.mic[:len(md.Samples)]
 			for i, v := range md.Samples {
 				buf[i] = audio.Int16ToFloat(v) * c.atten
 			}
-			pkt, err := c.enc.Encode(buf)
+			pkt, err := c.enc.EncodeTo(c.enc2[:0], buf)
 			if err != nil {
 				continue
 			}
+			c.enc2 = pkt
 			adc := int64((c.offset + (float64(md.Seq)+float64(c.delayFrames))*frameSec) * 1e6)
 			c.mu.Lock()
 			recs := c.pending
 			c.pending = nil
 			c.mu.Unlock()
-			b, err := transport.EncodeChat(transport.Chat{
+			b, err := transport.AppendChat(c.chat[:0], transport.Chat{
 				Seq: md.Seq, Session: c.id, ADCMicros: adc, Records: recs, Encoded: pkt})
 			if err != nil {
 				continue
 			}
+			c.chat = b
 			_ = c.screen.SendTo(b, c.server)
 		}
 	}

@@ -56,20 +56,27 @@ func (s *stream) apply(a *ekho.Action) {
 	}
 }
 
-func (s *stream) next() (samples []float64, contentStart int64, off uint16) {
-	f := make([]float64, ekho.FrameSamples)
+// next fills the caller's FrameSamples-long buffer with the stream's next
+// frame (callers reuse one buffer per tick, keeping the path off the heap).
+func (s *stream) next(f []float64) (contentStart int64, off uint16) {
 	if s.silenceDebt >= ekho.FrameSamples {
 		s.silenceDebt -= ekho.FrameSamples
-		return f, -1, 0
+		for i := range f {
+			f[i] = 0
+		}
+		return -1, 0
 	}
 	o := s.silenceDebt
 	s.silenceDebt = 0
 	start := s.pos
+	for i := 0; i < o; i++ {
+		f[i] = 0
+	}
 	for i := o; i < ekho.FrameSamples; i++ {
 		f[i] = s.game.Samples[s.pos%s.game.Len()]
 		s.pos++
 	}
-	return f, int64(start), uint16(o)
+	return int64(start), uint16(o)
 }
 
 // session is one hub-hosted Ekho pipeline: its own PN schedule, streams,
@@ -100,6 +107,14 @@ type session struct {
 	ticks int
 	res   SessionResult
 
+	// Per-tick scratch: one frame is generated, marked, converted and
+	// serialized at a time, so a single set of buffers serves both streams
+	// (the socket layer does not retain sent datagrams).
+	frame   []float64
+	pcm     []int16
+	pkt     []byte
+	chatBuf []float64
+
 	// lastActive is the wall clock (UnixNano) of the last packet seen
 	// for this session, maintained by the receive loop for the reaper.
 	lastActive atomic.Int64
@@ -118,6 +133,8 @@ func (h *Hub) newSession(id uint32) *session {
 		comp:      ekho.NewCompensator(h.cfg.Compensator),
 		dec:       codec.NewDecoder(h.codecProfile()),
 		res:       SessionResult{ID: id},
+		frame:     make([]float64, ekho.FrameSamples),
+		pcm:       make([]int16, ekho.FrameSamples),
 	}
 	return s
 }
@@ -168,19 +185,19 @@ func (s *session) tick() {
 	if !s.ready {
 		return
 	}
-	sf, sc, so := s.screen.next()
-	if markerStarted(s.injector, sf) {
+	sc, so := s.screen.next(s.frame)
+	if markerStarted(s.injector, s.frame) {
 		mc := sc
 		if mc < 0 {
 			mc = int64(s.screen.pos)
 		}
 		s.markerContent = append(s.markerContent, mc)
 	}
-	af, ac, ao := s.accessory.next()
-	s.hub.sendMedia(s.screenAddr, transport.Media{
-		Seq: s.screen.seq, Session: s.id, ContentStart: sc, ContentOff: so, Samples: toInt16(sf)})
-	s.hub.sendMedia(s.controllerAddr, transport.Media{
-		Seq: s.accessory.seq, Session: s.id, ContentStart: ac, ContentOff: ao, Samples: toInt16(af)})
+	s.sendMedia(s.screenAddr, transport.Media{
+		Seq: s.screen.seq, Session: s.id, ContentStart: sc, ContentOff: so})
+	ac, ao := s.accessory.next(s.frame)
+	s.sendMedia(s.controllerAddr, transport.Media{
+		Seq: s.accessory.seq, Session: s.id, ContentStart: ac, ContentOff: ao})
 	s.screen.seq++
 	s.accessory.seq++
 	s.ticks++
@@ -203,17 +220,20 @@ func (s *session) chat(chat transport.Chat) {
 	}
 	for chat.Seq > s.chatNext {
 		// Conceal lost uplink packets so the chat timeline stays dense.
-		s.est.AddChat(s.dec.Conceal(), s.lastChatEnd)
+		// AddChat copies the samples, so the scratch is safe to reuse.
+		s.chatBuf = s.dec.ConcealTo(s.chatBuf[:0])
+		s.est.AddChat(s.chatBuf, s.lastChatEnd)
 		s.lastChatEnd += frameSec
 		s.chatNext++
 	}
 	if chat.Seq < s.chatNext {
 		return
 	}
-	decoded, err := s.dec.Decode(chat.Encoded)
+	decoded, err := s.dec.DecodeTo(s.chatBuf[:0], chat.Encoded)
 	if err != nil {
-		decoded = s.dec.Conceal()
+		decoded = s.dec.ConcealTo(s.chatBuf[:0])
 	}
+	s.chatBuf = decoded
 	ts := float64(chat.ADCMicros)/1e6 - float64(s.hub.codecProfile().Delay())/ekho.SampleRate
 	ms := s.est.AddChat(decoded, ts)
 	s.lastChatEnd = ts + float64(len(decoded))/ekho.SampleRate
@@ -248,12 +268,29 @@ func (s *session) chat(chat transport.Chat) {
 // worker's serialization (remove path or post-shutdown).
 func (s *session) result() SessionResult { return s.res }
 
+// sendMedia serializes the session's scratch frame as the media payload
+// and transmits it through the hub socket, reusing the session's int16 and
+// packet buffers. Safe because neither MemNet nor UDP retains the datagram
+// after SendTo returns.
+func (s *session) sendMedia(to net.Addr, m transport.Media) {
+	for i, v := range s.frame {
+		s.pcm[i] = audio.FloatToInt16(v)
+	}
+	m.Samples = s.pcm
+	var err error
+	if s.pkt, err = transport.AppendMedia(s.pkt[:0], m); err != nil {
+		s.hub.stats.sendErrs.Add(1)
+		return
+	}
+	s.hub.send(s.pkt, to)
+}
+
 // markerStarted runs the injector on the frame and reports whether a new
 // marker began.
 func markerStarted(in *ekho.Injector, frame []float64) bool {
-	before := len(in.Log())
+	before := in.InjectionCount()
 	in.ProcessFrame(frame)
-	return len(in.Log()) > before
+	return in.InjectionCount() > before
 }
 
 // matchMarkers emits marker local times for contents covered by records.
@@ -274,12 +311,4 @@ func matchMarkers(est *ekho.Estimator, pending []int64, records []transport.Play
 		}
 	}
 	return rest
-}
-
-func toInt16(f []float64) []int16 {
-	out := make([]int16, len(f))
-	for i, v := range f {
-		out[i] = audio.FloatToInt16(v)
-	}
-	return out
 }

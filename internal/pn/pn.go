@@ -98,6 +98,11 @@ func (t *AmplitudeTracker) Update(window []float64) float64 {
 func (t *AmplitudeTracker) Amplitude() float64 { return t.a }
 
 // bandRMS measures RMS amplitude in the 6-12 kHz band over the window.
+// BandPower zero-pads the 960-sample window to NextPow2 = 1024 internally
+// (finer bins than the window warrants, but identical for every frame, so
+// the tracker's smoothed estimate is unaffected) and runs on the cached
+// real-input plan — this is the hot per-frame spectral probe of every
+// session, and it allocates nothing in steady state.
 func bandRMS(window []float64) float64 {
 	return math.Sqrt(dsp.BandPower(window, audio.SampleRate, BandLowHz, BandHighHz))
 }
@@ -197,6 +202,10 @@ func (in *Injector) ProcessFrame(frame []float64) {
 
 // Log returns all injections so far.
 func (in *Injector) Log() []Injection { return append([]Injection(nil), in.log...) }
+
+// InjectionCount returns how many markers have started so far without
+// copying the log — the per-tick marker check reads it twice per frame.
+func (in *Injector) InjectionCount() int { return len(in.log) }
 
 // Pos returns the absolute stream position in samples.
 func (in *Injector) Pos() int { return in.pos }

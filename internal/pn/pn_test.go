@@ -159,7 +159,7 @@ func TestMarkedAudioContainsDetectableMarker(t *testing.T) {
 		}
 		// Find the local argmax within +-50 samples.
 		best, bestIdx := 0.0, -1
-		for i := maxInt(0, inj.StartSample-50); i < minInt(len(z), inj.StartSample+50); i++ {
+		for i := max(0, inj.StartSample-50); i < min(len(z), inj.StartSample+50); i++ {
 			if a := math.Abs(z[i]); a > best {
 				best, bestIdx = a, i
 			}
@@ -259,14 +259,14 @@ func TestInjectionPropertyMarkerEnergyScalesWithC(t *testing.T) {
 	}
 }
 
-func maxInt(a, b int) int {
+func max(a, b int) int {
 	if a > b {
 		return a
 	}
 	return b
 }
 
-func minInt(a, b int) int {
+func min(a, b int) int {
 	if a < b {
 		return a
 	}

@@ -293,8 +293,8 @@ func (m *multiSim) emitTraceFromPlay(p contentRecord) {
 
 // emitPair emits one ISD point if the records share content.
 func (m *multiSim) emitPair(i int, h, p contentRecord) bool {
-	lo := maxInt(h.contentStart, p.contentStart)
-	hi := minInt(h.contentStart+h.n, p.contentStart+p.n)
+	lo := max(h.contentStart, p.contentStart)
+	hi := min(h.contentStart+h.n, p.contentStart+p.n)
 	if lo >= hi {
 		return false
 	}

@@ -624,8 +624,8 @@ func (s *sim) matchTraceReverse(p contentRecord, heard []contentRecord) {
 
 // emitOverlap emits one ISD point if the records share content.
 func (s *sim) emitOverlap(h, p contentRecord) bool {
-	lo := maxInt(h.contentStart, p.contentStart)
-	hi := minInt(h.contentStart+h.n, p.contentStart+p.n)
+	lo := max(h.contentStart, p.contentStart)
+	hi := min(h.contentStart+h.n, p.contentStart+p.n)
 	if lo >= hi {
 		return false
 	}
@@ -676,16 +676,4 @@ func (s *sim) finish() *Result {
 	return res
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -127,16 +127,31 @@ const maxDatagram = 64 * 1024
 const maxCount = 1<<16 - 1
 
 func header(t PacketType, seq, session uint32) []byte {
-	b := make([]byte, 8, 64)
-	binary.LittleEndian.PutUint16(b[0:], Magic)
-	b[2] = byte(t)
-	b[3] = 0
-	binary.LittleEndian.PutUint32(b[4:], seq)
+	return appendHeader(make([]byte, 0, 64), t, seq, session)
+}
+
+// appendHeader appends a v1 (8-byte) or v2 (12-byte, session-flagged)
+// header to dst.
+func appendHeader(dst []byte, t PacketType, seq, session uint32) []byte {
+	flags := byte(0)
 	if session != 0 {
-		b[3] = FlagSession
-		b = binary.LittleEndian.AppendUint32(b, session)
+		flags = FlagSession
 	}
-	return b
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, byte(t), flags)
+	dst = binary.LittleEndian.AppendUint32(dst, seq)
+	if session != 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, session)
+	}
+	return dst
+}
+
+// headerLen returns the encoded header size for the session id.
+func headerLen(session uint32) int {
+	if session != 0 {
+		return 12
+	}
+	return 8
 }
 
 func parseHeader(b []byte) (t PacketType, seq, session uint32, body []byte, err error) {
@@ -161,20 +176,27 @@ func parseHeader(b []byte) (t PacketType, seq, session uint32, body []byte, err 
 // count does not fit the wire's u16 field or whose encoding would exceed
 // the datagram size limit.
 func EncodeMedia(m Media) ([]byte, error) {
+	return AppendMedia(nil, m)
+}
+
+// AppendMedia is EncodeMedia appending to dst and returning the extended
+// slice; the per-tick send path reuses one packet buffer per session. On
+// error dst is returned unmodified.
+func AppendMedia(dst []byte, m Media) ([]byte, error) {
 	if len(m.Samples) > maxCount {
-		return nil, fmt.Errorf("%w: %d samples > %d", ErrOversize, len(m.Samples), maxCount)
+		return dst, fmt.Errorf("%w: %d samples > %d", ErrOversize, len(m.Samples), maxCount)
 	}
-	b := header(TypeMedia, m.Seq, m.Session)
-	if len(b)+12+2*len(m.Samples) > maxDatagram {
-		return nil, fmt.Errorf("%w: media datagram with %d samples > %d bytes", ErrOversize, len(m.Samples), maxDatagram)
+	if headerLen(m.Session)+12+2*len(m.Samples) > maxDatagram {
+		return dst, fmt.Errorf("%w: media datagram with %d samples > %d bytes", ErrOversize, len(m.Samples), maxDatagram)
 	}
-	b = binary.LittleEndian.AppendUint64(b, uint64(m.ContentStart))
-	b = binary.LittleEndian.AppendUint16(b, m.ContentOff)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Samples)))
+	dst = appendHeader(dst, TypeMedia, m.Seq, m.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.ContentStart))
+	dst = binary.LittleEndian.AppendUint16(dst, m.ContentOff)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Samples)))
 	for _, s := range m.Samples {
-		b = binary.LittleEndian.AppendUint16(b, uint16(s))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(s))
 	}
-	return b, nil
+	return dst, nil
 }
 
 // DecodeMedia parses a media frame body (after the header).
@@ -201,26 +223,32 @@ func DecodeMedia(seq, session uint32, body []byte) (Media, error) {
 // encoded-byte counts do not fit their u16 fields or whose encoding would
 // exceed the datagram size limit.
 func EncodeChat(c Chat) ([]byte, error) {
+	return AppendChat(nil, c)
+}
+
+// AppendChat is EncodeChat appending to dst and returning the extended
+// slice. On error dst is returned unmodified.
+func AppendChat(dst []byte, c Chat) ([]byte, error) {
 	if len(c.Records) > maxCount {
-		return nil, fmt.Errorf("%w: %d playback records > %d", ErrOversize, len(c.Records), maxCount)
+		return dst, fmt.Errorf("%w: %d playback records > %d", ErrOversize, len(c.Records), maxCount)
 	}
 	if len(c.Encoded) > maxCount {
-		return nil, fmt.Errorf("%w: %d encoded bytes > %d", ErrOversize, len(c.Encoded), maxCount)
+		return dst, fmt.Errorf("%w: %d encoded bytes > %d", ErrOversize, len(c.Encoded), maxCount)
 	}
-	b := header(TypeChat, c.Seq, c.Session)
-	if len(b)+10+18*len(c.Records)+2+len(c.Encoded) > maxDatagram {
-		return nil, fmt.Errorf("%w: chat datagram > %d bytes", ErrOversize, maxDatagram)
+	if headerLen(c.Session)+10+18*len(c.Records)+2+len(c.Encoded) > maxDatagram {
+		return dst, fmt.Errorf("%w: chat datagram > %d bytes", ErrOversize, maxDatagram)
 	}
-	b = binary.LittleEndian.AppendUint64(b, uint64(c.ADCMicros))
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Records)))
+	dst = appendHeader(dst, TypeChat, c.Seq, c.Session)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.ADCMicros))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(c.Records)))
 	for _, r := range c.Records {
-		b = binary.LittleEndian.AppendUint64(b, uint64(r.ContentStart))
-		b = binary.LittleEndian.AppendUint64(b, uint64(r.LocalMicros))
-		b = binary.LittleEndian.AppendUint16(b, r.N)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.ContentStart))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.LocalMicros))
+		dst = binary.LittleEndian.AppendUint16(dst, r.N)
 	}
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Encoded)))
-	b = append(b, c.Encoded...)
-	return b, nil
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(c.Encoded)))
+	dst = append(dst, c.Encoded...)
+	return dst, nil
 }
 
 // DecodeChat parses a chat packet body.
