@@ -35,6 +35,7 @@ import (
 	"ekho/internal/compensator"
 	"ekho/internal/estimator"
 	"ekho/internal/pn"
+	"ekho/internal/serverpipe"
 	"ekho/internal/session"
 )
 
@@ -198,3 +199,26 @@ func DefaultMultiScenario() MultiScenario { return session.DefaultMultiScenario(
 
 // RunMultiSession executes a simulated N-screen session.
 func RunMultiSession(sc MultiScenario) *MultiResult { return session.RunMulti(sc) }
+
+// Server pipeline re-exports: the transport-agnostic per-session server
+// core (streams, marker ledger, record matching, chat sequencing,
+// estimation, compensation) that every hosting layer — the multi-tenant
+// hub, the discrete-event simulator, the experiments harness — drives.
+// Embed ServerNopSink to observe only the events of interest.
+type (
+	// ServerPipeline is one session's server core.
+	ServerPipeline = serverpipe.Pipeline
+	// ServerPipelineConfig assembles a pipeline (Game and Seq required).
+	ServerPipelineConfig = serverpipe.Config
+	// ServerFrameInfo describes one produced downlink frame.
+	ServerFrameInfo = serverpipe.FrameInfo
+	// ServerPlaybackRecord reports when accessory content played locally.
+	ServerPlaybackRecord = serverpipe.Record
+	// ServerEventSink receives pipeline lifecycle events.
+	ServerEventSink = serverpipe.EventSink
+	// ServerNopSink ignores all events; embed it for partial sinks.
+	ServerNopSink = serverpipe.NopSink
+)
+
+// NewServerPipeline assembles a per-session server pipeline.
+func NewServerPipeline(cfg ServerPipelineConfig) *ServerPipeline { return serverpipe.New(cfg) }

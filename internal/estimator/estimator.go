@@ -351,5 +351,3 @@ func ComputeStages(rec []float64, cfg Config) Stages {
 		Confirmed:  filterPeaks(peaks, env, cfg),
 	}
 }
-
-

@@ -74,7 +74,8 @@ func (s *Streamer) AddMarkerTime(localTime float64) {
 		trim++
 	}
 	if trim > 0 {
-		s.markerTimes = append([]float64(nil), s.markerTimes[trim:]...)
+		n := copy(s.markerTimes, s.markerTimes[trim:])
+		s.markerTimes = s.markerTimes[:n]
 	}
 }
 
@@ -147,7 +148,11 @@ func (s *Streamer) flush() []Measurement {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].DetectionTime < out[j].DetectionTime })
+	// The sort (and its closure) only runs when something was emitted, so
+	// the no-detection steady state stays allocation-free.
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].DetectionTime < out[j].DetectionTime })
+	}
 	return out
 }
 

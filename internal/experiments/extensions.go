@@ -102,4 +102,3 @@ func runExtensions(s Scale) *Report {
 	r.set("plc_jump_ratio", ratio)
 	return r
 }
-

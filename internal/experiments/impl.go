@@ -6,82 +6,127 @@ import (
 
 	"ekho/internal/acoustic"
 	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/compensator"
 	"ekho/internal/estimator"
 	"ekho/internal/gamesynth"
-	"ekho/internal/pn"
+	"ekho/internal/serverpipe"
 )
 
 func init() { register("impl", runImpl) }
 
+// countingSink tallies pipeline events for the profile report.
+type countingSink struct {
+	serverpipe.NopSink
+	markers      int
+	measurements int
+}
+
+func (c *countingSink) MarkerInjected(int64)                          { c.markers++ }
+func (c *countingSink) ISDMeasurement(float64, estimator.Measurement) { c.measurements++ }
+
 // runImpl reproduces the §5.2 implementation profile: the paper's C++
 // Ekho-Server uses ~2.5% of one 2.3 GHz core and peaks at 83 MiB. This
-// experiment measures the Go implementation's equivalent numbers: the
-// wall time the streaming estimator (the compute-dominant component)
-// spends per second of real-time audio, expressed as a core fraction, and
-// the allocation high-water mark while processing.
+// experiment profiles the same per-session server core every hosting layer
+// runs — a serverpipe.Pipeline — split into its two halves: the downlink
+// side (stream scheduling + marker injection) and the uplink side (chat
+// decode, marker resolution, streaming estimation), each expressed as the
+// fraction of one core needed for real-time operation.
 //
-// Values: "cpu_core_pct" (percent of one core for real-time operation),
-// "peak_alloc_mib", "injector_cpu_pct".
+// Values: "cpu_core_pct" (uplink side), "injector_cpu_pct" (downlink
+// side), "peak_alloc_mib", "heap_mib", "measurements".
 func runImpl(s Scale) *Report {
 	r := &Report{ID: "impl", Title: "Implementation profile: CPU and memory (§5.2)"}
 	seconds := 30.0
 	if s == Quick {
 		seconds = 10
 	}
+	profile := codec.SWB32
 
-	// Build a realistic chat recording: marked game audio through the
-	// default channel.
 	clip := gamesynth.Generate(gamesynth.Catalog()[2], gamesynth.ClipSeconds)
-	looped := audio.NewBuffer(audio.SampleRate, int(seconds*audio.SampleRate))
-	for i := range looped.Samples {
-		looped.Samples[i] = clip.Samples[i%clip.Len()]
+	sink := &countingSink{}
+	pipe := serverpipe.New(serverpipe.Config{
+		Game:  clip,
+		Seq:   sharedSeq,
+		Codec: profile,
+		// The chat recording is pre-rendered below, so compensation must
+		// not shift the accessory timeline mid-run: disable it by pushing
+		// the hysteresis threshold out of reach.
+		Compensator: compensator.Config{MinCorrectionSec: 1e9},
+		Sink:        sink,
+	})
+
+	nFrames := int(seconds * audio.SampleRate / audio.FrameSamples)
+
+	// Downlink side: produce the marked screen stream and the accessory
+	// stream frame by frame, exactly as the hub's tick does.
+	marked := audio.NewBuffer(audio.SampleRate, nFrames*audio.FrameSamples)
+	frame := make([]float64, audio.FrameSamples)
+	records := make([]serverpipe.Record, 0, nFrames)
+	start := time.Now()
+	for i := 0; i < nFrames; i++ {
+		pipe.NextScreenFrame(marked.Samples[i*audio.FrameSamples : (i+1)*audio.FrameSamples])
+		fi := pipe.NextAccessoryFrame(frame)
+		if fi.ContentStart >= 0 {
+			// Identity playback timing: accessory content n plays at local
+			// time n/rate (no compensation shifts it; see above).
+			records = append(records, serverpipe.Record{
+				ContentStart: fi.ContentStart,
+				N:            audio.FrameSamples - fi.ContentOff,
+				LocalTime:    float64(fi.ContentStart) / audio.SampleRate,
+			})
+		}
 	}
-	marked, log := pn.Mark(looped, sharedSeq, pn.DefaultC)
+	injElapsed := time.Since(start).Seconds()
+
+	// Overheard chat: the marked stream through the default room, encoded
+	// with the paper's uplink codec (pre-rendered so only the server-side
+	// uplink path is timed below).
 	recvBuf := acoustic.DefaultChannel().Transmit(marked)
+	enc := codec.NewEncoder(profile)
+	packets := make([][]byte, 0, nFrames)
+	for i := 0; i+audio.FrameSamples <= recvBuf.Len(); i += audio.FrameSamples {
+		pkt, err := enc.Encode(recvBuf.Samples[i : i+audio.FrameSamples])
+		if err != nil {
+			panic(err)
+		}
+		packets = append(packets, pkt)
+	}
 
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 
-	// Streaming estimation, frame by frame, as Ekho-Server runs it.
-	est := estimator.NewStreamer(estimator.Config{Seq: sharedSeq})
-	for _, inj := range log {
-		est.AddMarkerTime(float64(inj.StartSample) / audio.SampleRate)
+	// Uplink side: per-packet record delivery, marker resolution, decode
+	// and streaming estimation, as Ekho-Server runs it.
+	ri := 0
+	start = time.Now()
+	for i, pkt := range packets {
+		// Piggyback each record on the chat packet that follows its frame
+		// (the client batches records per uplink packet).
+		for ri < len(records) && records[ri].ContentStart < int64((i+1)*audio.FrameSamples) {
+			pipe.OfferRecord(records[ri])
+			ri++
+		}
+		pipe.OfferChat(uint32(i), float64(i)*float64(audio.FrameSamples)/audio.SampleRate, pkt)
 	}
-	measurements := 0
-	start := time.Now()
-	for i := 0; i+audio.FrameSamples <= recvBuf.Len(); i += audio.FrameSamples {
-		ms := est.AddChat(recvBuf.Samples[i:i+audio.FrameSamples], float64(i)/audio.SampleRate)
-		measurements += len(ms)
-	}
-	estElapsed := time.Since(start).Seconds()
+	chatElapsed := time.Since(start).Seconds()
 	runtime.ReadMemStats(&m1)
 
-	// Marker injection cost (server-side hot path).
-	inj := pn.NewInjector(sharedSeq, pn.DefaultC)
-	frames := looped.Frames(audio.FrameSamples)
-	start = time.Now()
-	for _, f := range frames {
-		cp := make([]float64, len(f))
-		copy(cp, f)
-		inj.ProcessFrame(cp)
-	}
-	injElapsed := time.Since(start).Seconds()
-
-	cpuPct := estElapsed / seconds * 100
+	cpuPct := chatElapsed / seconds * 100
 	injPct := injElapsed / seconds * 100
 	peakMiB := float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20) / (seconds / 4) // rough per-window footprint
 	heapMiB := float64(m1.HeapAlloc) / (1 << 20)
 
-	r.addf("streaming estimator: %.2f s of CPU per %.0f s of audio = %.1f%% of one core", estElapsed, seconds, cpuPct)
-	r.addf("marker injector:     %.3f s per %.0f s of audio = %.2f%% of one core", injElapsed, seconds, injPct)
+	r.addf("uplink path (decode+resolve+estimate): %.2f s of CPU per %.0f s of audio = %.1f%% of one core", chatElapsed, seconds, cpuPct)
+	r.addf("downlink path (streams+injector):      %.3f s per %.0f s of audio = %.2f%% of one core", injElapsed, seconds, injPct)
 	r.addf("heap in use after run: %.1f MiB (paper: 83 MiB peak)", heapMiB)
-	r.addf("measurements produced: %d over %d markers", measurements, len(log))
+	r.addf("measurements produced: %d over %d markers", sink.measurements, sink.markers)
 	r.addf("(paper's C++ reference: ~2.5%% of a 2.3 GHz core)")
 	r.set("cpu_core_pct", cpuPct)
 	r.set("injector_cpu_pct", injPct)
 	r.set("peak_alloc_mib", peakMiB)
 	r.set("heap_mib", heapMiB)
-	r.set("measurements", float64(measurements))
+	r.set("measurements", float64(sink.measurements))
 	return r
 }

@@ -40,7 +40,6 @@ func SFX(rng *rand.Rand, seconds float64) *audio.Buffer {
 	return out.Normalize(0.75)
 }
 
-
 // gunshot: a sharp broadband noise burst with a very fast attack and an
 // exponential decay of ~60 ms, plus a low-frequency thump.
 func gunshot(rng *rand.Rand, dst []float64) {

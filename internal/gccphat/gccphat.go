@@ -188,5 +188,3 @@ func EstimateSegments(ref, rec *audio.Buffer, segSeconds float64) []Measurement 
 	}
 	return out
 }
-
-

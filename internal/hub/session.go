@@ -6,7 +6,7 @@ import (
 
 	"ekho"
 	"ekho/internal/audio"
-	"ekho/internal/codec"
+	"ekho/internal/serverpipe"
 	"ekho/internal/transport"
 )
 
@@ -32,57 +32,11 @@ type SessionResult struct {
 	Frames int
 }
 
-// stream is a minimal content-tracked frame source with compensation
-// (the hub-hosted twin of the simulator's streamScheduler).
-type stream struct {
-	game        *audio.Buffer
-	pos         int
-	silenceDebt int
-	seq         uint32
-}
-
-func (s *stream) apply(a *ekho.Action) {
-	s.silenceDebt += a.InsertFrames*ekho.FrameSamples + a.InsertSamples
-	skip := a.SkipFrames*ekho.FrameSamples + a.SkipSamples
-	if skip > 0 {
-		if s.silenceDebt >= skip {
-			s.silenceDebt -= skip
-			skip = 0
-		} else {
-			skip -= s.silenceDebt
-			s.silenceDebt = 0
-		}
-		s.pos += skip
-	}
-}
-
-// next fills the caller's FrameSamples-long buffer with the stream's next
-// frame (callers reuse one buffer per tick, keeping the path off the heap).
-func (s *stream) next(f []float64) (contentStart int64, off uint16) {
-	if s.silenceDebt >= ekho.FrameSamples {
-		s.silenceDebt -= ekho.FrameSamples
-		for i := range f {
-			f[i] = 0
-		}
-		return -1, 0
-	}
-	o := s.silenceDebt
-	s.silenceDebt = 0
-	start := s.pos
-	for i := 0; i < o; i++ {
-		f[i] = 0
-	}
-	for i := o; i < ekho.FrameSamples; i++ {
-		f[i] = s.game.Samples[s.pos%s.game.Len()]
-		s.pos++
-	}
-	return int64(start), uint16(o)
-}
-
-// session is one hub-hosted Ekho pipeline: its own PN schedule, streams,
-// estimator, compensator and endpoints. All fields except lastActive are
-// owned by the session's shard worker; lastActive is touched by the
-// receive loop and read by the reaper.
+// session hosts one Ekho pipeline on the hub: it owns the socket I/O and
+// wire serialization for two endpoints and delegates everything else —
+// streams, markers, estimation, compensation — to a serverpipe.Pipeline.
+// All fields except lastActive are owned by the session's shard worker;
+// lastActive is touched by the receive loop and read by the reaper.
 type session struct {
 	id  uint32
 	hub *Hub
@@ -91,29 +45,15 @@ type session struct {
 	controllerAddr net.Addr
 	ready          bool
 
-	screen    *stream
-	accessory *stream
-	injector  *ekho.Injector
-	est       *ekho.Estimator
-	comp      *ekho.Compensator
-	dec       *codec.Decoder
-
-	markerContent []int64
-	records       []transport.PlaybackRecord
-	chatNext      uint32
-	chatStarted   bool
-	lastChatEnd   float64
-
-	ticks int
-	res   SessionResult
+	pipe *serverpipe.Pipeline
+	res  SessionResult
 
 	// Per-tick scratch: one frame is generated, marked, converted and
 	// serialized at a time, so a single set of buffers serves both streams
 	// (the socket layer does not retain sent datagrams).
-	frame   []float64
-	pcm     []int16
-	pkt     []byte
-	chatBuf []float64
+	frame []float64
+	pcm   []int16
+	pkt   []byte
 
 	// lastActive is the wall clock (UnixNano) of the last packet seen
 	// for this session, maintained by the receive loop for the reaper.
@@ -121,28 +61,23 @@ type session struct {
 }
 
 func (h *Hub) newSession(id uint32) *session {
-	game := h.clip(h.cfg.Clip)
-	seq := h.markerSeq()
 	s := &session{
-		id:        id,
-		hub:       h,
-		screen:    &stream{game: game},
-		accessory: &stream{game: game},
-		injector:  ekho.NewInjector(seq, h.cfg.MarkerC),
-		est:       ekho.NewEstimator(seq),
-		comp:      ekho.NewCompensator(h.cfg.Compensator),
-		dec:       codec.NewDecoder(h.codecProfile()),
-		res:       SessionResult{ID: id},
-		frame:     make([]float64, ekho.FrameSamples),
-		pcm:       make([]int16, ekho.FrameSamples),
+		id:    id,
+		hub:   h,
+		res:   SessionResult{ID: id},
+		frame: make([]float64, ekho.FrameSamples),
+		pcm:   make([]int16, ekho.FrameSamples),
 	}
+	s.pipe = serverpipe.New(serverpipe.Config{
+		Game:        h.clip(h.cfg.Clip),
+		Seq:         h.markerSeq(),
+		MarkerC:     h.cfg.MarkerC,
+		Codec:       h.codecProfile(),
+		Compensator: h.cfg.Compensator,
+		Sink:        s,
+	})
 	return s
 }
-
-// now is the session's content-time clock in seconds: it advances with
-// the media it has streamed, so compensator settling windows hold whether
-// the hub is paced by a wall-clock ticker or driven flat-out in tests.
-func (s *session) now() float64 { return float64(s.ticks) * frameSec }
 
 // handle processes one packet on the shard worker. It reports true when
 // the session ended (Bye) and should be removed.
@@ -185,83 +120,29 @@ func (s *session) tick() {
 	if !s.ready {
 		return
 	}
-	sc, so := s.screen.next(s.frame)
-	if markerStarted(s.injector, s.frame) {
-		mc := sc
-		if mc < 0 {
-			mc = int64(s.screen.pos)
-		}
-		s.markerContent = append(s.markerContent, mc)
-	}
+	fi := s.pipe.NextScreenFrame(s.frame)
 	s.sendMedia(s.screenAddr, transport.Media{
-		Seq: s.screen.seq, Session: s.id, ContentStart: sc, ContentOff: so})
-	ac, ao := s.accessory.next(s.frame)
+		Seq: fi.Seq, Session: s.id, ContentStart: fi.ContentStart, ContentOff: uint16(fi.ContentOff)})
+	fi = s.pipe.NextAccessoryFrame(s.frame)
 	s.sendMedia(s.controllerAddr, transport.Media{
-		Seq: s.accessory.seq, Session: s.id, ContentStart: ac, ContentOff: ao})
-	s.screen.seq++
-	s.accessory.seq++
-	s.ticks++
+		Seq: fi.Seq, Session: s.id, ContentStart: fi.ContentStart, ContentOff: uint16(fi.ContentOff)})
 	s.res.Frames++
 }
 
-// chat runs the estimator/compensator pipeline on one uplink packet.
+// chat deserializes one uplink packet into the pipeline: piggybacked
+// playback records first (micros → seconds), then the encoded audio.
 func (s *session) chat(chat transport.Chat) {
 	if !s.ready {
 		return
 	}
-	s.records = append(s.records, chat.Records...)
-	if len(s.records) > 400 {
-		s.records = s.records[len(s.records)-200:]
+	for _, r := range chat.Records {
+		s.pipe.OfferRecord(serverpipe.Record{
+			ContentStart: r.ContentStart,
+			N:            int(r.N),
+			LocalTime:    float64(r.LocalMicros) / 1e6,
+		})
 	}
-	s.markerContent = matchMarkers(s.est, s.markerContent, s.records)
-	if !s.chatStarted {
-		s.chatStarted = true
-		s.chatNext = chat.Seq
-	}
-	for chat.Seq > s.chatNext {
-		// Conceal lost uplink packets so the chat timeline stays dense.
-		// AddChat copies the samples, so the scratch is safe to reuse.
-		s.chatBuf = s.dec.ConcealTo(s.chatBuf[:0])
-		s.est.AddChat(s.chatBuf, s.lastChatEnd)
-		s.lastChatEnd += frameSec
-		s.chatNext++
-	}
-	if chat.Seq < s.chatNext {
-		return
-	}
-	decoded, err := s.dec.DecodeTo(s.chatBuf[:0], chat.Encoded)
-	if err != nil {
-		decoded = s.dec.ConcealTo(s.chatBuf[:0])
-	}
-	s.chatBuf = decoded
-	ts := float64(chat.ADCMicros)/1e6 - float64(s.hub.codecProfile().Delay())/ekho.SampleRate
-	ms := s.est.AddChat(decoded, ts)
-	s.lastChatEnd = ts + float64(len(decoded))/ekho.SampleRate
-	s.chatNext++
-	now := s.now()
-	for _, m := range ms {
-		s.res.Measurements++
-		s.hub.stats.measurements.Add(1)
-		if s.res.Actions > 0 {
-			s.res.PostActionMeasurements++
-		}
-		s.res.ISDs = append(s.res.ISDs, m.ISDSeconds)
-		s.hub.logf("hub: session %d: ISD measurement %+.1f ms (strength %.0f)", s.id, m.ISDSeconds*1000, m.Strength)
-		if act := s.comp.Offer(now, m.ISDSeconds); act != nil {
-			s.res.Actions++
-			s.hub.stats.actions.Add(1)
-			if s.res.Actions == 1 {
-				s.res.FirstActionFrames = act.InsertFrames
-			}
-			target := s.accessory
-			if act.Stream == ekho.ScreenStream {
-				target = s.screen
-			}
-			target.apply(act)
-			s.hub.logf("hub: session %d: compensation %v stream insert=%d skip=%d frames",
-				s.id, act.Stream, act.InsertFrames, act.SkipFrames)
-		}
-	}
+	s.pipe.OfferChat(chat.Seq, float64(chat.ADCMicros)/1e6, chat.Encoded)
 }
 
 // result snapshots the session's outcome; callers must hold the shard
@@ -285,30 +166,41 @@ func (s *session) sendMedia(to net.Addr, m transport.Media) {
 	s.hub.send(s.pkt, to)
 }
 
-// markerStarted runs the injector on the frame and reports whether a new
-// marker began.
-func markerStarted(in *ekho.Injector, frame []float64) bool {
-	before := in.InjectionCount()
-	in.ProcessFrame(frame)
-	return in.InjectionCount() > before
+// The session is its pipeline's EventSink: measurement and action events
+// feed the hub's per-session results and fleet counters.
+
+// MarkerInjected implements serverpipe.EventSink.
+func (s *session) MarkerInjected(int64) {}
+
+// MarkerMatched implements serverpipe.EventSink.
+func (s *session) MarkerMatched(int64, float64) {}
+
+// MarkerExpired implements serverpipe.EventSink.
+func (s *session) MarkerExpired(content int64) {
+	s.hub.logf("hub: session %d: marker at content %d expired unmatched", s.id, content)
 }
 
-// matchMarkers emits marker local times for contents covered by records.
-func matchMarkers(est *ekho.Estimator, pending []int64, records []transport.PlaybackRecord) []int64 {
-	var rest []int64
-	for _, mc := range pending {
-		matched := false
-		for _, r := range records {
-			if mc >= r.ContentStart && mc < r.ContentStart+int64(r.N) {
-				t := float64(r.LocalMicros)/1e6 + float64(mc-r.ContentStart)/ekho.SampleRate
-				est.AddMarkerTime(t)
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			rest = append(rest, mc)
-		}
+// ChatGapConcealed implements serverpipe.EventSink.
+func (s *session) ChatGapConcealed(uint32, float64) {}
+
+// ISDMeasurement implements serverpipe.EventSink.
+func (s *session) ISDMeasurement(_ float64, m ekho.Measurement) {
+	s.res.Measurements++
+	s.hub.stats.measurements.Add(1)
+	if s.res.Actions > 0 {
+		s.res.PostActionMeasurements++
 	}
-	return rest
+	s.res.ISDs = append(s.res.ISDs, m.ISDSeconds)
+	s.hub.logf("hub: session %d: ISD measurement %+.1f ms (strength %.0f)", s.id, m.ISDSeconds*1000, m.Strength)
+}
+
+// CompensationAction implements serverpipe.EventSink.
+func (s *session) CompensationAction(_ float64, a ekho.Action) {
+	s.res.Actions++
+	s.hub.stats.actions.Add(1)
+	if s.res.Actions == 1 {
+		s.res.FirstActionFrames = a.InsertFrames
+	}
+	s.hub.logf("hub: session %d: compensation %v stream insert=%d skip=%d frames",
+		s.id, a.Stream, a.InsertFrames, a.SkipFrames)
 }

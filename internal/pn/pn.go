@@ -138,6 +138,8 @@ type Injector struct {
 	nextMarker int // absolute sample position of the next marker start
 	active     []activeMarker
 	log        []Injection
+	logLimit   int // 0 = unlimited; otherwise retain only the newest entries
+	dropped    int // log entries trimmed so far (keeps InjectionCount exact)
 }
 
 type activeMarker struct {
@@ -178,6 +180,7 @@ func (in *Injector) ProcessFrame(frame []float64) {
 			Amplitude:   scaled,
 		})
 		in.nextMarker = in.pos + in.Interval
+		in.trimLog()
 	}
 	// Mix every active marker's overlap with this frame at the current
 	// tracked amplitude.
@@ -200,12 +203,34 @@ func (in *Injector) ProcessFrame(frame []float64) {
 	in.pos += len(frame)
 }
 
-// Log returns all injections so far.
+// Log returns the retained injections (all of them unless SetLogLimit
+// bounded the log), oldest first.
 func (in *Injector) Log() []Injection { return append([]Injection(nil), in.log...) }
 
 // InjectionCount returns how many markers have started so far without
 // copying the log — the per-tick marker check reads it twice per frame.
-func (in *Injector) InjectionCount() int { return len(in.log) }
+// Trimmed entries still count.
+func (in *Injector) InjectionCount() int { return in.dropped + len(in.log) }
+
+// SetLogLimit bounds the retained injection log to the newest n entries
+// (0 restores the default: unlimited). Long-running servers set a limit
+// so per-session memory stays flat; InjectionCount keeps counting every
+// marker ever started.
+func (in *Injector) SetLogLimit(n int) {
+	in.logLimit = n
+	in.trimLog()
+}
+
+// trimLog drops the oldest log entries beyond the limit, in place.
+func (in *Injector) trimLog() {
+	if in.logLimit <= 0 || len(in.log) <= in.logLimit {
+		return
+	}
+	drop := len(in.log) - in.logLimit
+	in.dropped += drop
+	n := copy(in.log, in.log[drop:])
+	in.log = in.log[:n]
+}
 
 // Pos returns the absolute stream position in samples.
 func (in *Injector) Pos() int { return in.pos }

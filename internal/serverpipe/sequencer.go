@@ -1,0 +1,33 @@
+package serverpipe
+
+// ChatSequencer orders the uplink chat packet stream: it reports how many
+// packets were lost before the offered one (the caller conceals them to
+// keep the estimator's timeline contiguous) and whether the packet is
+// fresh (stale duplicates and reordered packets behind the cursor are
+// dropped — their audio was already concealed).
+type ChatSequencer struct {
+	next   uint32
+	synced bool
+}
+
+// NewChatSequencer returns a sequencer. startsAtZero pins the expected
+// first sequence number to zero (the simulator's convention); otherwise
+// the sequencer syncs to the first sequence number it sees (a hub client
+// may join mid-stream).
+func NewChatSequencer(startsAtZero bool) ChatSequencer {
+	return ChatSequencer{synced: startsAtZero}
+}
+
+// Offer advances the cursor for one incoming packet.
+func (q *ChatSequencer) Offer(seq uint32) (lost int, fresh bool) {
+	if !q.synced {
+		q.synced = true
+		q.next = seq
+	}
+	if seq < q.next {
+		return 0, false
+	}
+	lost = int(seq - q.next)
+	q.next = seq + 1
+	return lost, true
+}

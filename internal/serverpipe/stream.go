@@ -1,0 +1,109 @@
+package serverpipe
+
+import (
+	"ekho/internal/audio"
+	"ekho/internal/compensator"
+)
+
+// FrameInfo describes one produced downlink frame: its sequence number,
+// the content position of its first content sample (-1 for all-gap
+// frames) and the in-frame offset where content begins.
+type FrameInfo struct {
+	Seq          uint32
+	ContentStart int64
+	ContentOff   int
+}
+
+// Stream produces the per-tick downlink frames for one compensable
+// stream, tracking the mapping between transmitted frames and game-content
+// positions. Compensation actions (silence insertion, content skip) are
+// applied here; content positions are "unlooped" sample indices into an
+// infinite repetition of the game clip.
+type Stream struct {
+	game        *audio.Buffer
+	pos         int // next content sample to transmit
+	silenceDebt int // gap samples still to insert
+	seq         uint32
+	// interp, when set, synthesizes inserted gaps from the surrounding
+	// audio (PLC-style) instead of hard silence — the §4.4 future-work
+	// enhancement.
+	interp *compensator.Interpolator
+}
+
+// NewStream returns a stream over the (shared, read-only) game clip.
+func NewStream(game *audio.Buffer) *Stream {
+	return &Stream{game: game}
+}
+
+// EnableInterpolation switches inserted delay from silence to PLC-style
+// synthesized audio.
+func (st *Stream) EnableInterpolation() {
+	st.interp = compensator.NewInterpolator()
+}
+
+// Apply registers a compensation action with this stream.
+func (st *Stream) Apply(a compensator.Action) {
+	st.silenceDebt += a.InsertFrames*audio.FrameSamples + a.InsertSamples
+	skip := a.SkipFrames*audio.FrameSamples + a.SkipSamples
+	if skip > 0 {
+		// Skipping drains pending silence first (reverting an earlier
+		// correction); any remainder drops content.
+		if st.silenceDebt >= skip {
+			st.silenceDebt -= skip
+			skip = 0
+		} else {
+			skip -= st.silenceDebt
+			st.silenceDebt = 0
+		}
+		st.pos += skip
+	}
+}
+
+// Next fills dst (FrameSamples long; callers reuse one buffer to keep
+// the path off the heap) with the next 20 ms frame and returns its frame
+// info. Gap audio is silence by default, or synthesized continuation when
+// interpolation is enabled.
+func (st *Stream) Next(dst []float64) FrameInfo {
+	if len(dst) != audio.FrameSamples {
+		panic("serverpipe: Stream.Next requires 20 ms frames")
+	}
+	fi := FrameInfo{Seq: st.seq}
+	st.seq++
+	if st.silenceDebt >= audio.FrameSamples {
+		st.silenceDebt -= audio.FrameSamples
+		if st.interp != nil {
+			copy(dst, st.interp.Synthesize(audio.FrameSamples))
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		fi.ContentStart = -1
+		return fi
+	}
+	off := st.silenceDebt
+	st.silenceDebt = 0
+	if off > 0 {
+		if st.interp != nil {
+			copy(dst[:off], st.interp.Synthesize(off))
+		} else {
+			for i := 0; i < off; i++ {
+				dst[i] = 0
+			}
+		}
+	}
+	fi.ContentStart = int64(st.pos)
+	fi.ContentOff = off
+	for i := off; i < audio.FrameSamples; i++ {
+		dst[i] = st.game.Samples[st.pos%st.game.Len()]
+		st.pos++
+	}
+	if st.interp != nil {
+		st.interp.Observe(dst[off:])
+	}
+	return fi
+}
+
+// NextContent returns the content position the next content sample will
+// have (used to tie markers that begin during inserted silence).
+func (st *Stream) NextContent() int64 { return int64(st.pos) }

@@ -1,0 +1,82 @@
+package serverpipe
+
+import (
+	"testing"
+
+	"ekho/internal/audio"
+	"ekho/internal/compensator"
+)
+
+func TestStreamContentTracking(t *testing.T) {
+	game := audio.FromSamples(audio.SampleRate, make([]float64, 4800))
+	for i := range game.Samples {
+		game.Samples[i] = float64(i % 4800)
+	}
+	st := NewStream(game)
+	f := make([]float64, audio.FrameSamples)
+	fi := st.Next(f)
+	if fi.Seq != 0 || fi.ContentStart != 0 || fi.ContentOff != 0 || f[0] != 0 || f[959] != 959 {
+		t.Fatalf("first frame: %+v", fi)
+	}
+	// Insert one frame of silence.
+	st.Apply(compensator.Action{InsertFrames: 1})
+	fi = st.Next(f)
+	if fi.ContentStart != -1 || f[0] != 0 {
+		t.Fatalf("silence frame: c=%d", fi.ContentStart)
+	}
+	fi = st.Next(f)
+	if fi.ContentStart != 960 || fi.ContentOff != 0 || f[0] != 960 {
+		t.Fatalf("content resumes: c=%d f0=%g", fi.ContentStart, f[0])
+	}
+	// Skip reverts pending silence first.
+	st.Apply(compensator.Action{InsertFrames: 2})
+	st.Apply(compensator.Action{SkipFrames: 1})
+	fi = st.Next(f)
+	if fi.ContentStart != -1 {
+		t.Fatal("one silence frame should remain")
+	}
+	fi = st.Next(f)
+	if fi.ContentStart != 1920 {
+		t.Fatalf("content after revert: c=%d want 1920", fi.ContentStart)
+	}
+	// Skip without pending silence drops content.
+	st.Apply(compensator.Action{SkipFrames: 1})
+	fi = st.Next(f)
+	if fi.ContentStart != 1920+2*960 {
+		t.Fatalf("content after drop: c=%d want %d", fi.ContentStart, 1920+2*960)
+	}
+	// Content loops over the game buffer (position 3840 % 4800 = 3840).
+	if f[0] != float64((1920+2*960)%4800) {
+		t.Fatalf("loop value %g", f[0])
+	}
+	// Seq advanced once per frame regardless of compensation.
+	if fi.Seq != 5 {
+		t.Fatalf("seq %d want 5", fi.Seq)
+	}
+}
+
+func TestStreamSubFrame(t *testing.T) {
+	game := audio.FromSamples(audio.SampleRate, make([]float64, 9600))
+	for i := range game.Samples {
+		game.Samples[i] = 1
+	}
+	st := NewStream(game)
+	st.Apply(compensator.Action{InsertSamples: 100})
+	f := make([]float64, audio.FrameSamples)
+	fi := st.Next(f)
+	if fi.ContentOff != 100 || fi.ContentStart != 0 {
+		t.Fatalf("off=%d c=%d", fi.ContentOff, fi.ContentStart)
+	}
+	for i := 0; i < 100; i++ {
+		if f[i] != 0 {
+			t.Fatal("leading silence expected")
+		}
+	}
+	if f[100] != 1 {
+		t.Fatal("content should follow silence")
+	}
+	// Position advanced by only 860 content samples.
+	if st.NextContent() != 860 {
+		t.Fatalf("pos %d want 860", st.NextContent())
+	}
+}

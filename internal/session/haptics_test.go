@@ -3,6 +3,8 @@ package session
 import (
 	"math"
 	"testing"
+
+	"ekho/internal/audio"
 )
 
 func TestHapticsSkewFollowsISD(t *testing.T) {
@@ -119,12 +121,9 @@ func TestMutedScreenAudioIsSilentExceptMarkers(t *testing.T) {
 	s.setup()
 	// Produce 10 frames and check their peak levels are marker-scale.
 	maxPeak := 0.0
+	f := make([]float64, audio.FrameSamples)
 	for i := 0; i < 10; i++ {
-		f, _, _ := s.screenSched.next()
-		for j := range f {
-			f[j] = 0
-		}
-		s.injectMutedMarker(f)
+		s.pipe.NextScreenFrame(f)
 		for _, v := range f {
 			if a := math.Abs(v); a > maxPeak {
 				maxPeak = a

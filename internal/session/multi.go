@@ -11,6 +11,7 @@ import (
 	"ekho/internal/jitterbuf"
 	"ekho/internal/netsim"
 	"ekho/internal/pn"
+	"ekho/internal/serverpipe"
 	"ekho/internal/vclock"
 )
 
@@ -113,17 +114,19 @@ func RunMulti(sc MultiScenario) *MultiResult {
 	return m.finish()
 }
 
-// multiScreen is the per-screen simulation state.
+// multiScreen is the per-screen simulation state. Stream scheduling and
+// the pending-marker ledger are the shared serverpipe components; the
+// joint compensation policy below is what stays multi-specific.
 type multiScreen struct {
 	spec     ScreenSpec
 	seq      *pn.Sequence
 	injector *pn.Injector
-	sched    *streamScheduler
+	stream   *serverpipe.Stream
 	link     *netsim.Link
 	buf      *jitterbuf.Buffer
 	air      *airChannel
 	est      *estimator.Streamer
-	pendingM []int // marker content positions awaiting playback records
+	ledger   serverpipe.MarkerLedger // markers awaiting playback records
 
 	heard   []contentRecord
 	trace   []ISDPoint
@@ -139,18 +142,17 @@ type multiSim struct {
 
 	screens []*multiScreen
 
-	accessSched *streamScheduler
-	accessLink  *netsim.Link
-	accessBuf   *jitterbuf.Buffer
-	accessClk   *vclock.Clock
-	chatUp      *netsim.Link
-	chatNext    int
-	chatSynced  bool
-	playRecords []playbackRecord
-	played      []contentRecord
-	pendLog     []playbackRecord
-	chatSeq     int
-	lastChatEnd []float64
+	accessStream *serverpipe.Stream
+	accessLink   *netsim.Link
+	accessBuf    *jitterbuf.Buffer
+	accessClk    *vclock.Clock
+	chatUp       *netsim.Link
+	seqr         serverpipe.ChatSequencer
+	book         serverpipe.RecordBook
+	played       []contentRecord
+	pendLog      []playbackRecord
+	chatSeq      int
+	gapBuf       []float64 // stays all-zero; AddChat copies it
 
 	settleUntil float64
 	actions     int
@@ -160,7 +162,7 @@ func (m *multiSim) setup() {
 	sc := m.sc
 	m.sched = vclock.NewScheduler()
 	m.game = gamesynth.Generate(gamesynth.Catalog()[sc.ClipIndex%30], gamesynth.ClipSeconds)
-	m.accessSched = newStreamScheduler(m.game)
+	m.accessStream = serverpipe.NewStream(m.game)
 	m.accessBuf = jitterbuf.New(sc.ControllerJitterFrames)
 	m.accessClk = &vclock.Clock{Offset: -1.5, DriftPPM: 20, DACLatency: 0.002}
 
@@ -168,7 +170,7 @@ func (m *multiSim) setup() {
 		s := &multiScreen{spec: spec}
 		s.seq = pn.NewSequence(spec.MarkerSeed, pn.DefaultLength)
 		s.injector = pn.NewInjector(s.seq, sc.MarkerC)
-		s.sched = newStreamScheduler(m.game)
+		s.stream = serverpipe.NewStream(m.game)
 		s.buf = jitterbuf.New(spec.JitterFrames)
 		s.air = newAirChannel(channelSpec{
 			Mic:          0, // StudioMic-equivalent; coloration shared via spec below
@@ -191,7 +193,7 @@ func (m *multiSim) setup() {
 	ul := sc.ControllerUplink
 	ul.Seed += sc.Seed * 107
 	m.chatUp = netsim.NewLink(ul, m.sched, m.onChatPacket)
-	m.lastChatEnd = make([]float64, len(m.screens))
+	m.gapBuf = make([]float64, audio.FrameSamples)
 	m.settleUntil = math.Inf(-1)
 }
 
@@ -218,25 +220,26 @@ func (m *multiSim) run() {
 	m.sched.RunUntil(end + 1)
 }
 
-// produce emits one frame per stream (all screens + accessory).
+// produce emits one frame per stream (all screens + accessory). Buffers
+// are fresh per frame because netsim retains the payload until delivery.
 func (m *multiSim) produce() {
 	for _, s := range m.screens {
-		samples, content, off := s.sched.next()
-		pre := len(s.injector.Log())
+		samples := make([]float64, audio.FrameSamples)
+		fi := s.stream.Next(samples)
+		pre := s.injector.InjectionCount()
 		s.injector.ProcessFrame(samples)
-		if len(s.injector.Log()) > pre {
-			mc := content
+		if s.injector.InjectionCount() > pre {
+			mc := fi.ContentStart
 			if mc < 0 {
-				mc = s.sched.nextContent()
+				mc = s.stream.NextContent()
 			}
-			s.pendingM = append(s.pendingM, mc)
+			s.ledger.Add(mc)
 		}
-		s.link.Send(frame{seq: s.sched.seq, contentStart: content, contentOff: off, samples: samples})
-		s.sched.seq++
+		s.link.Send(frame{seq: int(fi.Seq), contentStart: int(fi.ContentStart), contentOff: fi.ContentOff, samples: samples})
 	}
-	samples, content, off := m.accessSched.next()
-	m.accessLink.Send(frame{seq: m.accessSched.seq, contentStart: content, contentOff: off, samples: samples})
-	m.accessSched.seq++
+	samples := make([]float64, audio.FrameSamples)
+	fi := m.accessStream.Next(samples)
+	m.accessLink.Send(frame{seq: int(fi.Seq), contentStart: int(fi.ContentStart), contentOff: fi.ContentOff, samples: samples})
 }
 
 func (m *multiSim) onScreenPacket(i int, p netsim.Packet) {
@@ -357,51 +360,26 @@ type multiChat struct {
 
 func (m *multiSim) onChatPacket(p netsim.Packet) {
 	mc := p.Payload.(multiChat)
-	m.playRecords = append(m.playRecords, mc.pkt.playbackLog...)
-	if len(m.playRecords) > 600 {
-		m.playRecords = append([]playbackRecord(nil), m.playRecords[len(m.playRecords)-300:]...)
+	for _, r := range mc.pkt.playbackLog {
+		m.book.Add(serverpipe.Record{ContentStart: int64(r.contentStart), N: r.n, LocalTime: r.localTime})
 	}
 	now := float64(m.sched.Now())
 	// Uplink loss: keep every estimator's timeline contiguous by filling
 	// the gap with silence (a slipped timeline biases all subsequent
 	// measurements by the lost duration).
-	if !m.chatSynced {
-		m.chatSynced = true
-		m.chatNext = mc.pkt.seq
-	}
-	if mc.pkt.seq < m.chatNext {
+	lost, fresh := m.seqr.Offer(uint32(mc.pkt.seq))
+	if !fresh {
 		return // stale duplicate/reorder
 	}
-	for mc.pkt.seq > m.chatNext {
-		gap := make([]float64, audio.FrameSamples)
-		gapStart := mc.pkt.adcLocal - float64(mc.pkt.seq-m.chatNext)*frameSec
+	for i := lost; i > 0; i-- {
+		gapStart := mc.pkt.adcLocal - float64(i)*frameSec
 		for _, s := range m.screens {
-			s.est.AddChat(gap, gapStart)
+			s.est.AddChat(m.gapBuf, gapStart)
 		}
-		m.chatNext++
-	}
-	m.chatNext++
-	type screenISD struct {
-		i   int
-		isd float64
 	}
 	for i, s := range m.screens {
 		// Resolve pending marker content to accessory local times.
-		remaining := s.pendingM[:0]
-		for _, mcPos := range s.pendingM {
-			matched := false
-			for _, r := range m.playRecords {
-				if mcPos >= r.contentStart && mcPos < r.contentStart+r.n {
-					s.est.AddMarkerTime(r.localTime + float64(mcPos-r.contentStart)/audio.SampleRate)
-					matched = true
-					break
-				}
-			}
-			if !matched {
-				remaining = append(remaining, mcPos)
-			}
-		}
-		s.pendingM = append([]int(nil), remaining...)
+		s.ledger.Resolve(&m.book, s.est, serverpipe.NopSink{})
 
 		// Feed the shared chat audio to this screen's estimator.
 		for _, meas := range s.est.AddChat(mc.samples, mc.pkt.adcLocal) {
@@ -411,6 +389,15 @@ func (m *multiSim) onChatPacket(p netsim.Packet) {
 			debugf("screen %d ISD %.1f ms at %.2fs", i, meas.ISDSeconds*1000, now)
 		}
 	}
+	// One shared record book serves every screen's ledger: evict only
+	// below the lowest pending marker across all screens.
+	minPending := int64(math.MaxInt64)
+	for _, s := range m.screens {
+		if p := s.ledger.MinPending(); p < minPending {
+			minPending = p
+		}
+	}
+	m.book.Evict(minPending)
 	m.maybeCompensate(now)
 }
 
@@ -452,11 +439,11 @@ func (m *multiSim) maybeCompensate(now float64) {
 	}
 	debugf("action at %.2fs: target %.1f ms, accessory insert %d", now, target*1000, accessFrames)
 	if accessFrames > 0 {
-		m.accessSched.apply(compensator.Action{InsertFrames: accessFrames})
+		m.accessStream.Apply(compensator.Action{InsertFrames: accessFrames})
 	}
 	for i, s := range m.screens {
 		if screenFrames[i] > 0 {
-			s.sched.apply(compensator.Action{InsertFrames: screenFrames[i]})
+			s.stream.Apply(compensator.Action{InsertFrames: screenFrames[i]})
 			debugf("  screen %d insert %d (lastISD %.1f ms)", i, screenFrames[i], s.lastISD*1000)
 		}
 		s.nISD = 0

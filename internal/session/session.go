@@ -28,6 +28,7 @@ import (
 	"ekho/internal/jitterbuf"
 	"ekho/internal/netsim"
 	"ekho/internal/pn"
+	"ekho/internal/serverpipe"
 	"ekho/internal/vclock"
 )
 
@@ -232,18 +233,10 @@ type sim struct {
 
 	game *audio.Buffer // looping game audio
 
-	// Server side.
-	pnSeq         *pn.Sequence
-	injector      *pn.Injector
-	screenSched   *streamScheduler
-	accessSched   *streamScheduler
-	comp          *compensator.Compensator
-	est           *estimator.Streamer
-	markerPending []int // content positions of markers not yet matched
-	chatNextSeq   int
-	chatDecoder   *codec.Decoder
-	playRecords   []playbackRecord // accessory playback log at the server
-	lastChatEnd   float64
+	// Server side: the shared per-session pipeline, driven from the
+	// discrete-event scheduler (the same core the hub hosts on sockets).
+	pnSeq *pn.Sequence
+	pipe  *serverpipe.Pipeline
 
 	// Links.
 	screenDown *netsim.Link
@@ -268,7 +261,6 @@ type sim struct {
 	measurements []MeasurementRecord
 	actions      []ActionRecord
 	haptics      *hapticTracker
-	mutedPos     int // transmitted screen samples (muted-marker schedule)
 }
 
 func (s *sim) setup() {
@@ -277,16 +269,20 @@ func (s *sim) setup() {
 	s.game = gamesynth.Generate(gamesynth.Catalog()[sc.ClipIndex%30], gamesynth.ClipSeconds)
 
 	s.pnSeq = pn.NewSequence(4242, pn.DefaultLength)
-	s.injector = pn.NewInjector(s.pnSeq, sc.MarkerC)
-	s.screenSched = newStreamScheduler(s.game)
-	s.accessSched = newStreamScheduler(s.game)
-	if sc.InterpolatedInsert {
-		s.screenSched.enableInterpolation()
-		s.accessSched.enableInterpolation()
-	}
-	s.comp = compensator.New(compensator.Config{SubFrame: sc.SubFrame})
-	s.est = estimator.NewStreamer(estimator.Config{Seq: s.pnSeq})
-	s.chatDecoder = codec.NewDecoder(sc.ChatProfile)
+	s.pipe = serverpipe.New(serverpipe.Config{
+		Game:               s.game,
+		Seq:                s.pnSeq,
+		MarkerC:            sc.MarkerC,
+		Codec:              sc.ChatProfile,
+		Compensator:        compensator.Config{SubFrame: sc.SubFrame},
+		Now:                func() float64 { return float64(s.sched.Now()) },
+		Sink:               s,
+		DisableMarkers:     !sc.EkhoEnabled,
+		InterpolatedInsert: sc.InterpolatedInsert,
+		MutedScreen:        sc.MutedScreen,
+		MutedMarkerAmpDB:   sc.MutedMarkerAmpDB,
+		ChatStartsAtZero:   true,
+	})
 	s.chatEnc = codec.NewEncoder(sc.ChatProfile)
 
 	s.screenClk = &vclock.Clock{Offset: sc.ScreenClockOffset, DACLatency: sc.ScreenDeviceLatency}
@@ -353,46 +349,16 @@ func (s *sim) run() {
 	s.sched.RunUntil(end + 1)
 }
 
-// serverProduce generates one frame for each stream, applies compensation
-// edits and marker injection, and transmits both.
+// serverProduce generates one frame for each stream through the shared
+// pipeline (compensation edits + marker injection) and transmits both.
+// Fresh buffers each tick: the simulated network retains the payloads.
 func (s *sim) serverProduce() {
-	scSamples, scContent, scOff := s.screenSched.next()
-	acSamples, acContent, acOff := s.accessSched.next()
-
-	if s.sc.MutedScreen {
-		// §6.5: the screen's game audio is muted; only faint markers at
-		// a constant amplitude are transmitted (content bookkeeping is
-		// retained — it represents the on-screen video frames).
-		for i := range scSamples {
-			scSamples[i] = 0
-		}
-		if s.sc.EkhoEnabled {
-			if s.injectMutedMarker(scSamples) {
-				mc := scContent
-				if mc < 0 {
-					mc = s.screenSched.nextContent()
-				}
-				s.markerPending = append(s.markerPending, mc)
-			}
-		}
-	} else if s.sc.EkhoEnabled {
-		pre := len(s.injector.Log())
-		s.injector.ProcessFrame(scSamples)
-		if len(s.injector.Log()) > pre {
-			// A marker started at this frame's first sample. Its content
-			// identity: the frame's first content sample, or — for an
-			// all-silence frame — the upcoming content position.
-			mc := scContent
-			if mc < 0 {
-				mc = s.screenSched.nextContent()
-			}
-			s.markerPending = append(s.markerPending, mc)
-		}
-	}
-	s.screenDown.Send(frame{seq: s.screenSched.seq, contentStart: scContent, contentOff: scOff, samples: scSamples})
-	s.accessDown.Send(frame{seq: s.accessSched.seq, contentStart: acContent, contentOff: acOff, samples: acSamples})
-	s.screenSched.seq++
-	s.accessSched.seq++
+	scSamples := make([]float64, audio.FrameSamples)
+	scf := s.pipe.NextScreenFrame(scSamples)
+	acSamples := make([]float64, audio.FrameSamples)
+	acf := s.pipe.NextAccessoryFrame(acSamples)
+	s.screenDown.Send(frame{seq: int(scf.Seq), contentStart: int(scf.ContentStart), contentOff: scf.ContentOff, samples: scSamples})
+	s.accessDown.Send(frame{seq: int(acf.Seq), contentStart: int(acf.ContentStart), contentOff: acf.ContentOff, samples: acSamples})
 }
 
 func (s *sim) onScreenPacket(p netsim.Packet) {
@@ -495,109 +461,42 @@ func (s *sim) captureMic() {
 	s.chatUp.Send(cp)
 }
 
-// onChatPacket is the server-side uplink handler.
+// onChatPacket is the server-side uplink handler: it deserializes the
+// simulated packet into the shared pipeline (records first, then audio).
 func (s *sim) onChatPacket(p netsim.Packet) {
 	if !s.sc.EkhoEnabled {
 		return
 	}
 	cp := p.Payload.(chatPacket)
-	s.playRecords = append(s.playRecords, cp.playbackLog...)
-	s.matchMarkers()
-
-	// Uplink loss: fill gaps with concealment to keep the timeline aligned.
-	for cp.seq > s.chatNextSeq {
-		s.feedChat(s.chatDecoder.Conceal(), math.NaN())
-		s.chatNextSeq++
+	for _, r := range cp.playbackLog {
+		s.pipe.OfferRecord(serverpipe.Record{ContentStart: int64(r.contentStart), N: r.n, LocalTime: r.localTime})
 	}
-	if cp.seq < s.chatNextSeq {
-		return // stale duplicate
-	}
-	decoded, err := s.chatDecoder.Decode(cp.encoded)
-	if err != nil {
-		decoded = s.chatDecoder.Conceal()
-	}
-	// Decoder output lags capture by one codec hop; correct the stamp.
-	ts := cp.adcLocal - float64(s.sc.ChatProfile.Delay())/audio.SampleRate
-	s.feedChat(decoded, ts)
-	s.chatNextSeq++
+	s.pipe.OfferChat(uint32(cp.seq), cp.adcLocal, cp.encoded)
 }
 
-// feedChat pushes decoded chat audio into the streaming estimator and acts
-// on any resulting measurements. NaN timestamps (concealed gaps) continue
-// the running timeline.
-func (s *sim) feedChat(samples []float64, startLocal float64) {
-	if math.IsNaN(startLocal) {
-		startLocal = s.lastChatEnd
-	}
-	ms := s.est.AddChat(samples, startLocal)
-	s.lastChatEnd = startLocal + float64(len(samples))/audio.SampleRate
-	now := float64(s.sched.Now())
-	for _, m := range ms {
-		s.measurements = append(s.measurements, MeasurementRecord{TimeSec: now, ISDSeconds: m.ISDSeconds})
-		if act := s.comp.Offer(now, m.ISDSeconds); act != nil {
-			s.applyAction(*act)
-			s.actions = append(s.actions, ActionRecord{TimeSec: now, Action: *act})
-		}
-	}
+// The sim is its pipeline's EventSink: measurements and actions land in
+// the result log with virtual-time stamps.
+
+// MarkerInjected implements serverpipe.EventSink.
+func (s *sim) MarkerInjected(int64) {}
+
+// MarkerMatched implements serverpipe.EventSink.
+func (s *sim) MarkerMatched(int64, float64) {}
+
+// MarkerExpired implements serverpipe.EventSink.
+func (s *sim) MarkerExpired(int64) {}
+
+// ChatGapConcealed implements serverpipe.EventSink.
+func (s *sim) ChatGapConcealed(uint32, float64) {}
+
+// ISDMeasurement implements serverpipe.EventSink.
+func (s *sim) ISDMeasurement(now float64, m estimator.Measurement) {
+	s.measurements = append(s.measurements, MeasurementRecord{TimeSec: now, ISDSeconds: m.ISDSeconds})
 }
 
-// matchMarkers converts pending marker content positions into accessory
-// local marker times once a playback record covering them arrives.
-func (s *sim) matchMarkers() {
-	if len(s.markerPending) == 0 {
-		return
-	}
-	remaining := s.markerPending[:0]
-	for _, mc := range s.markerPending {
-		matched := false
-		for _, r := range s.playRecords {
-			if mc >= r.contentStart && mc < r.contentStart+r.n {
-				t := r.localTime + float64(mc-r.contentStart)/audio.SampleRate
-				s.est.AddMarkerTime(t)
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			remaining = append(remaining, mc)
-		}
-	}
-	s.markerPending = append([]int(nil), remaining...)
-	// Prune consumed playback records to bound memory: keep the last 300.
-	if len(s.playRecords) > 600 {
-		s.playRecords = append([]playbackRecord(nil), s.playRecords[len(s.playRecords)-300:]...)
-	}
-}
-
-// injectMutedMarker mixes the PN sequence at a constant amplitude into the
-// outgoing muted-screen frame; markers start every second of transmitted
-// stream. Reports whether a marker started at this frame's first sample.
-func (s *sim) injectMutedMarker(frame []float64) bool {
-	ampDB := s.sc.MutedMarkerAmpDB
-	if ampDB == 0 {
-		ampDB = 9
-	}
-	amp := pn.MinAmplitude * math.Pow(10, ampDB/20)
-	started := s.mutedPos%audio.SampleRate == 0
-	w := s.pnSeq.Samples
-	for i := range frame {
-		pos := s.mutedPos + i
-		mi := pos % audio.SampleRate
-		if mi < len(w) {
-			frame[i] += amp * w[mi]
-		}
-	}
-	s.mutedPos += len(frame)
-	return started
-}
-
-// applyAction routes a compensation action to the owning stream scheduler.
-func (s *sim) applyAction(a compensator.Action) {
-	if a.Stream == compensator.ScreenStream {
-		s.screenSched.apply(a)
-		return
-	}
-	s.accessSched.apply(a)
+// CompensationAction implements serverpipe.EventSink.
+func (s *sim) CompensationAction(now float64, a compensator.Action) {
+	s.actions = append(s.actions, ActionRecord{TimeSec: now, Action: a})
 }
 
 // matchTrace emits a ground-truth ISD point when a newly heard screen
@@ -675,5 +574,3 @@ func (s *sim) finish() *Result {
 	}
 	return res
 }
-
-

@@ -245,71 +245,3 @@ func TestChirpGroundTruthAgreesWithBookkeeping(t *testing.T) {
 		t.Fatalf("chirp ISD %g want %g", isd, isdMs/1000)
 	}
 }
-
-func TestStreamSchedulerContentTracking(t *testing.T) {
-	game := audio.FromSamples(audio.SampleRate, make([]float64, 4800))
-	for i := range game.Samples {
-		game.Samples[i] = float64(i % 4800)
-	}
-	st := newStreamScheduler(game)
-	f, c, off := st.next()
-	if c != 0 || off != 0 || f[0] != 0 || f[959] != 959 {
-		t.Fatalf("first frame: c=%d off=%d", c, off)
-	}
-	// Insert one frame of silence.
-	st.apply(compensator.Action{InsertFrames: 1})
-	f, c, _ = st.next()
-	if c != -1 || f[0] != 0 {
-		t.Fatalf("silence frame: c=%d", c)
-	}
-	f, c, off = st.next()
-	if c != 960 || off != 0 || f[0] != 960 {
-		t.Fatalf("content resumes: c=%d f0=%g", c, f[0])
-	}
-	// Skip reverts pending silence first.
-	st.apply(compensator.Action{InsertFrames: 2})
-	st.apply(compensator.Action{SkipFrames: 1})
-	f, c, _ = st.next()
-	if c != -1 {
-		t.Fatal("one silence frame should remain")
-	}
-	_, c, _ = st.next()
-	if c != 1920 {
-		t.Fatalf("content after revert: c=%d want 1920", c)
-	}
-	// Skip without pending silence drops content.
-	st.apply(compensator.Action{SkipFrames: 1})
-	f, c, _ = st.next()
-	if c != 1920+2*960 {
-		t.Fatalf("content after drop: c=%d want %d", c, 1920+2*960)
-	}
-	// Content loops over the game buffer (position 3840 % 4800 = 3840).
-	if f[0] != float64((1920+2*960)%4800) {
-		t.Fatalf("loop value %g", f[0])
-	}
-}
-
-func TestStreamSchedulerSubFrame(t *testing.T) {
-	game := audio.FromSamples(audio.SampleRate, make([]float64, 9600))
-	for i := range game.Samples {
-		game.Samples[i] = 1
-	}
-	st := newStreamScheduler(game)
-	st.apply(compensator.Action{InsertSamples: 100})
-	f, c, off := st.next()
-	if off != 100 || c != 0 {
-		t.Fatalf("off=%d c=%d", off, c)
-	}
-	for i := 0; i < 100; i++ {
-		if f[i] != 0 {
-			t.Fatal("leading silence expected")
-		}
-	}
-	if f[100] != 1 {
-		t.Fatal("content should follow silence")
-	}
-	// Position advanced by only 860 content samples.
-	if st.nextContent() != 860 {
-		t.Fatalf("pos %d want 860", st.nextContent())
-	}
-}

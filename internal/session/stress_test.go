@@ -6,6 +6,7 @@ import (
 
 	"ekho/internal/audio"
 	"ekho/internal/compensator"
+	"ekho/internal/serverpipe"
 )
 
 // TestSessionWithHeavyClockDrift verifies the paper's core claim — no
@@ -149,20 +150,22 @@ func TestSessionInterpolatedInsertion(t *testing.T) {
 // directly: inserted gaps continue the waveform instead of muting.
 func TestInterpolatedGapCarriesEnergy(t *testing.T) {
 	game := audio.Tone(audio.SampleRate, 240, 2.0, 0.5)
-	plain := newStreamScheduler(game)
-	interp := newStreamScheduler(game)
-	interp.enableInterpolation()
+	plain := serverpipe.NewStream(game)
+	interp := serverpipe.NewStream(game)
+	interp.EnableInterpolation()
+	pf := make([]float64, audio.FrameSamples)
+	inf := make([]float64, audio.FrameSamples)
 	// Warm both up, then insert one frame of delay.
 	for i := 0; i < 10; i++ {
-		plain.next()
-		interp.next()
+		plain.Next(pf)
+		interp.Next(inf)
 	}
-	plain.apply(compensator.Action{InsertFrames: 1})
-	interp.apply(compensator.Action{InsertFrames: 1})
-	pf, pc, _ := plain.next()
-	inf, ic, _ := interp.next()
-	if pc != -1 || ic != -1 {
-		t.Fatalf("expected gap frames, got contents %d %d", pc, ic)
+	plain.Apply(compensator.Action{InsertFrames: 1})
+	interp.Apply(compensator.Action{InsertFrames: 1})
+	pi := plain.Next(pf)
+	ii := interp.Next(inf)
+	if pi.ContentStart != -1 || ii.ContentStart != -1 {
+		t.Fatalf("expected gap frames, got contents %d %d", pi.ContentStart, ii.ContentStart)
 	}
 	if rmsOf(pf) != 0 {
 		t.Fatal("plain gap should be silence")
