@@ -1,0 +1,190 @@
+// Command ekho-replay re-drives recorded Ekho session traces through a
+// fresh server pipeline and verifies that every recorded output — marker
+// injections, matches and expiries, chat-gap conceals, ISD measurements,
+// compensation actions, and the outbound frames' content bookkeeping — is
+// reproduced bit for bit. A session captured live (ekho-server -record) or
+// in the simulator replays deterministically because the trace carries the
+// pipeline's full configuration and the content-clock value of every
+// input.
+//
+// Replay one or more traces:
+//
+//	ekho-replay session-7.ektrace session-8.ektrace
+//
+// Each trace prints its reconstructed configuration, the replayed
+// counters in the stable per-session line format, and — on divergence —
+// the first mismatches. The exit status is 0 only if every trace
+// replayed exactly.
+//
+// Self-check mode records a short simulated session over each provider
+// network profile (stadia, gfn, psnow), replays it and verifies the
+// round trip end to end — the CI determinism gate:
+//
+//	ekho-replay -selfcheck -duration 20 -bench BENCH_replay.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ekho/internal/netsim"
+	"ekho/internal/session"
+	"ekho/internal/trace"
+)
+
+// benchEntry is one trace's replay metrics in the -bench JSON.
+type benchEntry struct {
+	Trace         string  `json:"trace"`
+	Profile       string  `json:"profile,omitempty"`
+	Records       int64   `json:"records"`
+	Ticks         int     `json:"ticks"`
+	Chats         int     `json:"chats"`
+	Events        int     `json:"events"`
+	Measurements  int     `json:"measurements"`
+	Actions       int     `json:"actions"`
+	Divergences   int64   `json:"divergences"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	BytesIn       int64   `json:"bytes_in"`
+}
+
+// benchFile is the -bench JSON document.
+type benchFile struct {
+	Tool    string       `json:"tool"`
+	Mode    string       `json:"mode"`
+	Entries []benchEntry `json:"entries"`
+	OK      bool         `json:"ok"`
+}
+
+func main() {
+	selfcheck := flag.Bool("selfcheck", false, "record short simulator sessions over each provider profile, then replay them")
+	duration := flag.Float64("duration", 20, "selfcheck session duration in virtual seconds")
+	keep := flag.String("keep", "", "selfcheck: write traces into this directory instead of a temp dir")
+	benchPath := flag.String("bench", "", "write replay metrics as JSON to this file")
+	flag.Parse()
+
+	var entries []benchEntry
+	ok := true
+	mode := "replay"
+
+	if *selfcheck {
+		mode = "selfcheck"
+		dir := *keep
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "ekho-replay-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, p := range netsim.Providers() {
+			path := filepath.Join(dir, "selfcheck-"+p.Name+".ektrace")
+			sc := session.DefaultScenario()
+			sc.DurationSec = *duration
+			sc.Provider = p.Name
+			sc.RecordPath = path
+			res := session.Run(sc)
+			fmt.Printf("recorded %s: %s (%d measurements, %d actions live)\n",
+				p.Name, path, len(res.Measurements), len(res.Actions))
+			e, good := replayFile(path)
+			e.Profile = p.Name
+			// The replayed sequences must also match what the live session
+			// observed through its own sink — the end-to-end equivalence the
+			// paper's capture/replay design promises.
+			if len(res.Measurements) != e.Measurements || len(res.Actions) != e.Actions {
+				fmt.Printf("FAIL %s: live saw %d measurements / %d actions, replay %d / %d\n",
+					p.Name, len(res.Measurements), len(res.Actions), e.Measurements, e.Actions)
+				good = false
+			}
+			entries = append(entries, e)
+			ok = ok && good
+		}
+	} else {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: ekho-replay [flags] trace.ektrace...  (or -selfcheck)")
+			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			e, good := replayFile(path)
+			entries = append(entries, e)
+			ok = ok && good
+		}
+	}
+
+	if *benchPath != "" {
+		doc := benchFile{Tool: "ekho-replay", Mode: mode, Entries: entries, OK: ok}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *benchPath)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// replayFile replays one trace and prints its report.
+func replayFile(path string) (benchEntry, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := trace.Replay(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	h := rep.Header
+	fmt.Printf("%s: session %d clip %d seed %d codec %s markers=%v\n",
+		path, h.SessionID, h.ClipIndex, h.Seed, h.Codec.Name, !h.DisableMarkers)
+	fmt.Printf("  replayed %d records in %s (%.0f records/s): %d ticks, %d chats, %d playback records, %d events, %d media-out checks\n",
+		rep.Records, rep.Elapsed, rep.EventsPerSec(),
+		rep.Ticks, rep.Chats, rep.PlaybackRecords, rep.Events, rep.MediaOut)
+	fmt.Printf("  %s\n", rep.Final)
+	if !rep.OK() {
+		fmt.Printf("  DIVERGED: %d mismatches\n", rep.DivergenceCount)
+		for _, d := range rep.Divergences {
+			fmt.Printf("    %s\n", d)
+		}
+		if rep.DivergenceCount > int64(len(rep.Divergences)) {
+			fmt.Printf("    ... and %d more\n", rep.DivergenceCount-int64(len(rep.Divergences)))
+		}
+	} else {
+		fmt.Printf("  OK: bit-identical replay\n")
+	}
+	e := benchEntry{
+		Trace:         filepath.Base(path),
+		Records:       rep.Records,
+		Ticks:         rep.Ticks,
+		Chats:         rep.Chats,
+		Events:        rep.Events,
+		Measurements:  len(rep.ISDs),
+		Actions:       len(rep.Actions),
+		Divergences:   rep.DivergenceCount,
+		ElapsedMs:     float64(rep.Elapsed.Microseconds()) / 1000,
+		RecordsPerSec: rep.EventsPerSec(),
+		BytesIn:       fi.Size(),
+	}
+	return e, rep.OK()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ekho-replay:", err)
+	os.Exit(1)
+}

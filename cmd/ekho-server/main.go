@@ -19,9 +19,14 @@
 // with a deliberately offset clock, proving no clock synchronization is
 // needed.
 //
-// Signals: SIGHUP prints a stats snapshot, SIGINT/SIGTERM drain the hub
-// (existing sessions finish, new ones are refused) and shut down after a
-// short grace period. The final snapshot is printed on exit.
+// Signals: SIGHUP prints a stats snapshot plus one stable line per live
+// session ("session <id> frames=... measurements=... actions=...
+// pending=... records=..."), SIGINT/SIGTERM drain the hub (existing
+// sessions finish, new ones are refused) and shut down after a short
+// grace period. The final snapshot is printed on exit.
+//
+// With -record DIR every session's full pipeline timeline is captured to
+// DIR/session-<id>.ektrace for deterministic replay by ekho-replay.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "drain grace period on SIGINT/SIGTERM")
 	markerC := flag.Float64("c", ekho.DefaultMarkerVolume, "marker relative volume C")
 	clip := flag.Int("clip", 0, "corpus clip index (0-29)")
+	record := flag.String("record", "", "capture each session to <dir>/session-<id>.ektrace for ekho-replay (empty = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
@@ -59,6 +65,13 @@ func main() {
 	if *shards < 1 {
 		fmt.Fprintln(os.Stderr, "ekho-server: -shards must be at least 1")
 		os.Exit(2)
+	}
+
+	if *record != "" {
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ekho-server:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -83,6 +96,7 @@ func main() {
 		IdleTimeout: *idle,
 		MarkerC:     *markerC,
 		Clip:        *clip,
+		RecordDir:   *record,
 		Logf:        log.Printf,
 		OnSessionEnd: func(id uint32, r hub.SessionResult) {
 			log.Printf("session %d ended: %d frames, %d measurements, %d actions",
@@ -103,6 +117,9 @@ func main() {
 			case sig := <-sigs:
 				if sig == syscall.SIGHUP {
 					log.Printf("stats: %s", h.Stats())
+					for _, st := range h.SessionStats() {
+						log.Printf("%s", st)
+					}
 					continue
 				}
 				log.Printf("%s: draining (grace %s)", sig, *grace)

@@ -31,12 +31,16 @@
 package ekho
 
 import (
+	"io"
+
 	"ekho/internal/audio"
 	"ekho/internal/compensator"
 	"ekho/internal/estimator"
+	"ekho/internal/netsim"
 	"ekho/internal/pn"
 	"ekho/internal/serverpipe"
 	"ekho/internal/session"
+	"ekho/internal/trace"
 )
 
 // Audio and marker constants re-exported from the paper's configuration.
@@ -222,3 +226,48 @@ type (
 
 // NewServerPipeline assembles a per-session server pipeline.
 func NewServerPipeline(cfg ServerPipelineConfig) *ServerPipeline { return serverpipe.New(cfg) }
+
+// Capture/replay re-exports: record a live session's pipeline timeline to
+// a versioned binary trace, replay it deterministically, and verify the
+// replayed ISD/compensation sequences bit for bit (cmd/ekho-replay is the
+// CLI over the same API).
+type (
+	// TraceHeader reconstructs a recorded session's pipeline configuration.
+	TraceHeader = trace.Header
+	// TraceRecorder captures a session timeline (serverpipe.EventSink plus
+	// input/output taps).
+	TraceRecorder = trace.Recorder
+	// ReplayReport summarizes one deterministic replay.
+	ReplayReport = trace.ReplayReport
+	// SessionStat is the stable one-line-per-session status format shared
+	// by the live server's SIGHUP dump and the replayer's final report.
+	SessionStat = trace.SessionStat
+)
+
+// NewTraceRecorder starts recording a session to w.
+func NewTraceRecorder(w io.Writer, h TraceHeader) (*TraceRecorder, error) {
+	return trace.NewRecorder(w, h)
+}
+
+// TraceHeaderFor captures a session's effective pipeline configuration.
+func TraceHeaderFor(sessionID uint32, clipIndex int, seed int64, cfg ServerPipelineConfig) TraceHeader {
+	return trace.HeaderFor(sessionID, clipIndex, seed, cfg)
+}
+
+// ReplayTrace re-drives a fresh pipeline from a recorded trace and
+// verifies every recorded output exactly.
+func ReplayTrace(r io.Reader) (*ReplayReport, error) { return trace.Replay(r) }
+
+// Provider network profile re-exports: named delay/jitter/loss shapes
+// modeled on the Stadia / GeForce Now / PlayStation Now measurement study
+// (arXiv:2012.06774), selectable by name in simulator scenarios.
+type (
+	// ProviderProfile is a named bidirectional path shape.
+	ProviderProfile = netsim.ProviderProfile
+)
+
+// Providers returns the built-in provider profiles in a stable order.
+func Providers() []ProviderProfile { return netsim.Providers() }
+
+// ProviderByName resolves a provider profile by name or alias.
+func ProviderByName(name string) (ProviderProfile, bool) { return netsim.ProviderByName(name) }

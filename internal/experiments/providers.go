@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"math"
+
+	"ekho/internal/analysis"
+	"ekho/internal/netsim"
+	"ekho/internal/session"
+)
+
+func init() { register("providers", runProviders) }
+
+// providerSessions maps scale to (sessions per provider, duration seconds).
+func providerSessions(s Scale) (int, float64) {
+	switch s {
+	case Quick:
+		return 1, 30
+	case Standard:
+		return 2, 90
+	default:
+		return 4, 300
+	}
+}
+
+// runProviders runs the end-to-end session over the named provider-shaped
+// network profiles (netsim.Providers: Stadia / GeForce Now / PS Now, per
+// the arXiv:2012.06774 measurement study) and reports how well Ekho holds
+// sync on each. The expectation is monotone in path quality: the edge-
+// hosted Stadia shape converges fastest and stays tightest, PS Now — the
+// slowest, jitteriest, lossiest of the three — is the stress case.
+//
+// Values per provider: "<name>_insync_pct", "<name>_median_ms",
+// "<name>_p95_ms", "<name>_measurements".
+func runProviders(s Scale) *Report {
+	r := &Report{ID: "providers", Title: "Ekho sync quality across provider network profiles"}
+	n, dur := providerSessions(s)
+	r.addf("%-8s %12s %12s %12s %14s %10s", "profile", "in-sync %", "median ms", "p95 ms", "measurements", "loss %")
+	for _, p := range netsim.Providers() {
+		var abs []float64
+		inSync, total := 0, 0
+		meas := 0
+		lost, sent := 0, 0
+		for i := 0; i < n; i++ {
+			sc := session.DefaultScenario()
+			sc.Seed = int64(i + 1)
+			sc.DurationSec = dur
+			sc.ClipIndex = i * 7
+			sc.Provider = p.Name
+			res := session.Run(sc)
+			meas += len(res.Measurements)
+			lost += res.ScreenLoss.Lost + res.AccessLoss.Lost
+			sent += res.ScreenLoss.Sent + res.AccessLoss.Sent
+			for _, pt := range res.Trace {
+				if pt.TimeSec < sc.WarmupIgnoreSec {
+					continue
+				}
+				v := math.Abs(pt.ISDSeconds) * 1000
+				abs = append(abs, v)
+				total++
+				if v <= 10 {
+					inSync++
+				}
+			}
+		}
+		sync := 0.0
+		if total > 0 {
+			sync = float64(inSync) / float64(total) * 100
+		}
+		lossPct := 0.0
+		if sent > 0 {
+			lossPct = float64(lost) / float64(sent) * 100
+		}
+		median := analysis.Percentile(abs, 0.5)
+		p95 := analysis.Percentile(abs, 0.95)
+		r.addf("%-8s %11.1f%% %12.2f %12.2f %14d %9.2f%%",
+			p.Name, sync, median, p95, meas, lossPct)
+		r.set(p.Name+"_insync_pct", sync)
+		r.set(p.Name+"_median_ms", median)
+		r.set(p.Name+"_p95_ms", p95)
+		r.set(p.Name+"_measurements", float64(meas))
+	}
+	return r
+}

@@ -77,6 +77,10 @@ type Config struct {
 	Codec codec.Profile
 	// Compensator tunes the per-session feedback loop.
 	Compensator ekho.CompensatorConfig
+	// RecordDir, when non-empty, captures every session's full timeline
+	// to <RecordDir>/session-<id>.ektrace for deterministic replay with
+	// cmd/ekho-replay (see internal/trace).
+	RecordDir string
 	// Logf receives progress lines (nil silences them).
 	Logf Logf
 	// OnSessionReady fires (from a shard worker) when a session's
@@ -389,6 +393,7 @@ func (h *Hub) flushSessions() {
 		for _, s := range ss {
 			h.stats.active.Add(-1)
 			h.stats.ended.Add(1)
+			s.closeRecorder()
 			if h.cfg.OnSessionEnd != nil {
 				h.cfg.OnSessionEnd(s.id, s.result())
 			}

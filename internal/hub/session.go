@@ -1,12 +1,16 @@
 package hub
 
 import (
+	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"ekho"
 	"ekho/internal/audio"
 	"ekho/internal/serverpipe"
+	"ekho/internal/trace"
 	"ekho/internal/transport"
 )
 
@@ -48,6 +52,12 @@ type session struct {
 	pipe *serverpipe.Pipeline
 	res  SessionResult
 
+	// rec captures the session's timeline when the hub records; recFile
+	// is the backing log file. Both are touched only on the shard worker
+	// (and at shutdown, after workers stopped).
+	rec     *trace.Recorder
+	recFile *os.File
+
 	// Per-tick scratch: one frame is generated, marked, converted and
 	// serialized at a time, so a single set of buffers serves both streams
 	// (the socket layer does not retain sent datagrams).
@@ -68,15 +78,55 @@ func (h *Hub) newSession(id uint32) *session {
 		frame: make([]float64, ekho.FrameSamples),
 		pcm:   make([]int16, ekho.FrameSamples),
 	}
-	s.pipe = serverpipe.New(serverpipe.Config{
+	cfg := serverpipe.Config{
 		Game:        h.clip(h.cfg.Clip),
 		Seq:         h.markerSeq(),
 		MarkerC:     h.cfg.MarkerC,
 		Codec:       h.codecProfile(),
 		Compensator: h.cfg.Compensator,
 		Sink:        s,
-	})
+	}
+	s.pipe = serverpipe.New(cfg)
+	if h.cfg.RecordDir != "" {
+		s.openRecorder(cfg)
+	}
 	return s
+}
+
+// openRecorder starts capturing the session's timeline to
+// <RecordDir>/session-<id>.ektrace. Recording failures degrade to an
+// unrecorded session rather than refusing admission.
+func (s *session) openRecorder(cfg serverpipe.Config) {
+	path := filepath.Join(s.hub.cfg.RecordDir, fmt.Sprintf("session-%d.ektrace", s.id))
+	f, err := os.Create(path)
+	if err != nil {
+		s.hub.logf("hub: session %d: recording disabled: %v", s.id, err)
+		return
+	}
+	rec, err := trace.NewRecorder(f, trace.HeaderFor(s.id, s.hub.cfg.Clip, s.hub.cfg.Seed, cfg))
+	if err != nil {
+		s.hub.logf("hub: session %d: recording disabled: %v", s.id, err)
+		f.Close()
+		return
+	}
+	s.rec = rec
+	s.recFile = f
+	s.hub.logf("hub: session %d: recording to %s", s.id, path)
+}
+
+// closeRecorder flushes and closes the session's trace log. Idempotent;
+// called on session removal and at hub shutdown.
+func (s *session) closeRecorder() {
+	if s.rec == nil {
+		return
+	}
+	if err := s.rec.Close(); err != nil {
+		s.hub.logf("hub: session %d: trace flush: %v", s.id, err)
+	}
+	if err := s.recFile.Close(); err != nil {
+		s.hub.logf("hub: session %d: trace close: %v", s.id, err)
+	}
+	s.rec, s.recFile = nil, nil
 }
 
 // handle processes one packet on the shard worker. It reports true when
@@ -120,12 +170,21 @@ func (s *session) tick() {
 	if !s.ready {
 		return
 	}
+	if s.rec != nil {
+		s.rec.Tick(s.pipe.Now())
+	}
 	fi := s.pipe.NextScreenFrame(s.frame)
 	s.sendMedia(s.screenAddr, transport.Media{
 		Seq: fi.Seq, Session: s.id, ContentStart: fi.ContentStart, ContentOff: uint16(fi.ContentOff)})
+	if s.rec != nil {
+		s.rec.MediaOut(trace.StreamScreen, fi, len(s.pkt))
+	}
 	fi = s.pipe.NextAccessoryFrame(s.frame)
 	s.sendMedia(s.controllerAddr, transport.Media{
 		Seq: fi.Seq, Session: s.id, ContentStart: fi.ContentStart, ContentOff: uint16(fi.ContentOff)})
+	if s.rec != nil {
+		s.rec.MediaOut(trace.StreamAccessory, fi, len(s.pkt))
+	}
 	s.res.Frames++
 }
 
@@ -136,13 +195,21 @@ func (s *session) chat(chat transport.Chat) {
 		return
 	}
 	for _, r := range chat.Records {
-		s.pipe.OfferRecord(serverpipe.Record{
+		rec := serverpipe.Record{
 			ContentStart: r.ContentStart,
 			N:            int(r.N),
 			LocalTime:    float64(r.LocalMicros) / 1e6,
-		})
+		}
+		if s.rec != nil {
+			s.rec.OfferRecord(s.pipe.Now(), rec)
+		}
+		s.pipe.OfferRecord(rec)
 	}
-	s.pipe.OfferChat(chat.Seq, float64(chat.ADCMicros)/1e6, chat.Encoded)
+	adc := float64(chat.ADCMicros) / 1e6
+	if s.rec != nil {
+		s.rec.OfferChat(s.pipe.Now(), chat.Seq, adc, chat.Encoded)
+	}
+	s.pipe.OfferChat(chat.Seq, adc, chat.Encoded)
 }
 
 // result snapshots the session's outcome; callers must hold the shard
@@ -166,25 +233,57 @@ func (s *session) sendMedia(to net.Addr, m transport.Media) {
 	s.hub.send(s.pkt, to)
 }
 
+// stat snapshots the session as a stable per-session status line; shard
+// workers call it for the hub's SessionStats collection.
+func (s *session) stat() trace.SessionStat {
+	return trace.SessionStat{
+		ID:           s.id,
+		Frames:       s.res.Frames,
+		Measurements: s.res.Measurements,
+		Actions:      s.res.Actions,
+		Pending:      s.pipe.PendingMarkers(),
+		Records:      s.pipe.RecordCount(),
+	}
+}
+
 // The session is its pipeline's EventSink: measurement and action events
-// feed the hub's per-session results and fleet counters.
+// feed the hub's per-session results and fleet counters, and are teed to
+// the trace recorder when the hub records.
 
 // MarkerInjected implements serverpipe.EventSink.
-func (s *session) MarkerInjected(int64) {}
+func (s *session) MarkerInjected(content int64) {
+	if s.rec != nil {
+		s.rec.MarkerInjected(content)
+	}
+}
 
 // MarkerMatched implements serverpipe.EventSink.
-func (s *session) MarkerMatched(int64, float64) {}
+func (s *session) MarkerMatched(content int64, localTime float64) {
+	if s.rec != nil {
+		s.rec.MarkerMatched(content, localTime)
+	}
+}
 
 // MarkerExpired implements serverpipe.EventSink.
 func (s *session) MarkerExpired(content int64) {
+	if s.rec != nil {
+		s.rec.MarkerExpired(content)
+	}
 	s.hub.logf("hub: session %d: marker at content %d expired unmatched", s.id, content)
 }
 
 // ChatGapConcealed implements serverpipe.EventSink.
-func (s *session) ChatGapConcealed(uint32, float64) {}
+func (s *session) ChatGapConcealed(seq uint32, startLocal float64) {
+	if s.rec != nil {
+		s.rec.ChatGapConcealed(seq, startLocal)
+	}
+}
 
 // ISDMeasurement implements serverpipe.EventSink.
-func (s *session) ISDMeasurement(_ float64, m ekho.Measurement) {
+func (s *session) ISDMeasurement(now float64, m ekho.Measurement) {
+	if s.rec != nil {
+		s.rec.ISDMeasurement(now, m)
+	}
 	s.res.Measurements++
 	s.hub.stats.measurements.Add(1)
 	if s.res.Actions > 0 {
@@ -195,7 +294,10 @@ func (s *session) ISDMeasurement(_ float64, m ekho.Measurement) {
 }
 
 // CompensationAction implements serverpipe.EventSink.
-func (s *session) CompensationAction(_ float64, a ekho.Action) {
+func (s *session) CompensationAction(now float64, a ekho.Action) {
+	if s.rec != nil {
+		s.rec.CompensationAction(now, a)
+	}
 	s.res.Actions++
 	s.hub.stats.actions.Add(1)
 	if s.res.Actions == 1 {

@@ -3,6 +3,7 @@ package hub
 import (
 	"sync"
 
+	"ekho/internal/trace"
 	"ekho/internal/transport"
 )
 
@@ -26,6 +27,7 @@ const (
 	workPacket workKind = iota
 	workTick
 	workReap
+	workStats
 )
 
 // work is one unit handed to a shard worker: a decoded packet for a
@@ -39,6 +41,10 @@ type work struct {
 	// packet arrived in between).
 	id   uint32
 	seen int64
+	// stats receives the shard's per-session snapshots (workStats): the
+	// worker owns session state, so snapshots are taken on it and the
+	// requester waits on this channel.
+	stats chan<- []trace.SessionStat
 }
 
 // shardIndex pins a session ID to a shard. Session IDs are arbitrary
@@ -110,6 +116,18 @@ func (h *Hub) worker(sh *shard) {
 				if s != nil && s.lastActive.Load() == w.seen {
 					h.remove(sh, s, true)
 				}
+			case workStats:
+				sh.mu.Lock()
+				sh.scratch = sh.scratch[:0]
+				for _, s := range sh.sessions {
+					sh.scratch = append(sh.scratch, s)
+				}
+				sh.mu.Unlock()
+				stats := make([]trace.SessionStat, 0, len(sh.scratch))
+				for _, s := range sh.scratch {
+					stats = append(stats, s.stat())
+				}
+				w.stats <- stats
 			}
 		}
 	}
@@ -134,6 +152,7 @@ func (h *Hub) remove(sh *shard, s *session, reaped bool) {
 		h.stats.reaped.Add(1)
 		h.logf("hub: session %d reaped after idle timeout", s.id)
 	}
+	s.closeRecorder()
 	if h.cfg.OnSessionEnd != nil {
 		h.cfg.OnSessionEnd(s.id, s.result())
 	}

@@ -3,6 +3,8 @@ package hub
 import (
 	"fmt"
 	"sync/atomic"
+
+	"ekho/internal/trace"
 )
 
 // counters is the hub's always-on accounting, updated with atomics from
@@ -78,6 +80,33 @@ func (h *Hub) Stats() Snapshot {
 		Measurements:   c.measurements.Load(),
 		Actions:        c.actions.Load(),
 	}
+}
+
+// SessionStats snapshots every live session in the stable one-line-per-
+// session format (trace.SessionStat). Snapshots are taken on the shard
+// workers — the owners of session state — so the result is race-free;
+// the call therefore waits briefly behind in-flight work. It returns nil
+// after the hub has closed. Results are sorted by session ID, so live
+// SIGHUP dumps and replay reports line up line for line.
+func (h *Hub) SessionStats() []trace.SessionStat {
+	ch := make(chan []trace.SessionStat, len(h.shards))
+	asked := 0
+	for _, sh := range h.shards {
+		if h.enqueue(sh, work{kind: workStats, stats: ch}) {
+			asked++
+		}
+	}
+	var all []trace.SessionStat
+	for i := 0; i < asked; i++ {
+		select {
+		case stats := <-ch:
+			all = append(all, stats...)
+		case <-h.done:
+			return nil
+		}
+	}
+	trace.SortSessionStats(all)
+	return all
 }
 
 // String formats the snapshot as a one-line status report.

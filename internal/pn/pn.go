@@ -221,6 +221,11 @@ func (in *Injector) SetLogLimit(n int) {
 	in.trimLog()
 }
 
+// LogLimit returns the configured log bound (0 = unlimited). The
+// capture/replay recorder persists it so a replayed session applies the
+// same trimming and reconstructs identical ledger state.
+func (in *Injector) LogLimit() int { return in.logLimit }
+
 // trimLog drops the oldest log entries beyond the limit, in place.
 func (in *Injector) trimLog() {
 	if in.logLimit <= 0 || len(in.log) <= in.logLimit {

@@ -74,7 +74,17 @@ type Config struct {
 	// zero (the simulator's convention) instead of syncing to the first
 	// packet seen (the hub's convention for clients joining mid-stream).
 	ChatStartsAtZero bool
+	// InjectorLogLimit bounds the injector's retained injection log
+	// (0 = the default short debugging tail, negative = unlimited). The
+	// capture/replay recorder persists this value in the trace header so
+	// a replayed session reconstructs identical injector ledger state.
+	InjectorLogLimit int
 }
+
+// Normalized returns cfg with every defaulted field made explicit — the
+// exact configuration New assembles. The trace recorder captures the
+// normalized form so replay rebuilds an identical pipeline.
+func (cfg Config) Normalized() Config { return cfg.withDefaults() }
 
 func (cfg Config) withDefaults() Config {
 	if cfg.MarkerC == 0 {
@@ -88,6 +98,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MutedMarkerAmpDB == 0 {
 		cfg.MutedMarkerAmpDB = 9
+	}
+	if cfg.InjectorLogLimit == 0 {
+		cfg.InjectorLogLimit = injectorLogKeep
 	}
 	return cfg
 }
@@ -139,7 +152,9 @@ func New(cfg Config) *Pipeline {
 		codecDelaySec: float64(cfg.Codec.Delay()) / audio.SampleRate,
 		mutedAmp:      pn.MinAmplitude * math.Pow(10, cfg.MutedMarkerAmpDB/20),
 	}
-	p.injector.SetLogLimit(injectorLogKeep)
+	if cfg.InjectorLogLimit > 0 {
+		p.injector.SetLogLimit(cfg.InjectorLogLimit)
+	}
 	if cfg.InterpolatedInsert {
 		p.screen.EnableInterpolation()
 		p.accessory.EnableInterpolation()

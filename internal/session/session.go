@@ -19,6 +19,7 @@ package session
 
 import (
 	"math"
+	"os"
 
 	"ekho/internal/audio"
 	"ekho/internal/codec"
@@ -29,6 +30,7 @@ import (
 	"ekho/internal/netsim"
 	"ekho/internal/pn"
 	"ekho/internal/serverpipe"
+	"ekho/internal/trace"
 	"ekho/internal/vclock"
 )
 
@@ -115,6 +117,15 @@ type Scenario struct {
 	// MutedMarkerAmpDB is the constant marker amplitude for MutedScreen
 	// (dB above the injector floor; the paper suggests 6-15 dB).
 	MutedMarkerAmpDB float64
+	// Provider, when non-empty, selects a named provider-shaped network
+	// profile (netsim.ProviderByName: "stadia", "gfn", "psnow") and
+	// overrides ScreenLink, ControllerLink and ControllerUplink with its
+	// measured delay/jitter/loss shapes. Unknown names panic: a scenario
+	// asking for a profile that does not exist is a programming error.
+	Provider string
+	// RecordPath, when non-empty, captures the server pipeline's full
+	// timeline to a trace log for deterministic replay (cmd/ekho-replay).
+	RecordPath string
 }
 
 // DefaultScenario mirrors the paper's testbed: screen on cellular with a
@@ -214,6 +225,15 @@ func Run(sc Scenario) *Result {
 	if sc.Channel == (channelSpec{}) {
 		sc.Channel = defaultChannelSpec()
 	}
+	if sc.Provider != "" {
+		p, ok := netsim.ProviderByName(sc.Provider)
+		if !ok {
+			panic("session: unknown provider profile " + sc.Provider)
+		}
+		sc.ScreenLink = p.Down
+		sc.ControllerLink = p.Down
+		sc.ControllerUplink = p.Up
+	}
 	s := &sim{sc: sc}
 	s.setup()
 	s.run()
@@ -237,6 +257,10 @@ type sim struct {
 	// discrete-event scheduler (the same core the hub hosts on sockets).
 	pnSeq *pn.Sequence
 	pipe  *serverpipe.Pipeline
+
+	// Optional capture of the pipeline timeline (Scenario.RecordPath).
+	rec     *trace.Recorder
+	recFile *os.File
 
 	// Links.
 	screenDown *netsim.Link
@@ -269,7 +293,7 @@ func (s *sim) setup() {
 	s.game = gamesynth.Generate(gamesynth.Catalog()[sc.ClipIndex%30], gamesynth.ClipSeconds)
 
 	s.pnSeq = pn.NewSequence(4242, pn.DefaultLength)
-	s.pipe = serverpipe.New(serverpipe.Config{
+	cfg := serverpipe.Config{
 		Game:               s.game,
 		Seq:                s.pnSeq,
 		MarkerC:            sc.MarkerC,
@@ -282,7 +306,20 @@ func (s *sim) setup() {
 		MutedScreen:        sc.MutedScreen,
 		MutedMarkerAmpDB:   sc.MutedMarkerAmpDB,
 		ChatStartsAtZero:   true,
-	})
+	}
+	s.pipe = serverpipe.New(cfg)
+	if sc.RecordPath != "" {
+		f, err := os.Create(sc.RecordPath)
+		if err != nil {
+			panic("session: record: " + err.Error())
+		}
+		rec, err := trace.NewRecorder(f, trace.HeaderFor(0, sc.ClipIndex, 4242, cfg))
+		if err != nil {
+			f.Close()
+			panic("session: record: " + err.Error())
+		}
+		s.recFile, s.rec = f, rec
+	}
 	s.chatEnc = codec.NewEncoder(sc.ChatProfile)
 
 	s.screenClk = &vclock.Clock{Offset: sc.ScreenClockOffset, DACLatency: sc.ScreenDeviceLatency}
@@ -353,12 +390,19 @@ func (s *sim) run() {
 // pipeline (compensation edits + marker injection) and transmits both.
 // Fresh buffers each tick: the simulated network retains the payloads.
 func (s *sim) serverProduce() {
+	if s.rec != nil {
+		s.rec.Tick(s.pipe.Now())
+	}
 	scSamples := make([]float64, audio.FrameSamples)
 	scf := s.pipe.NextScreenFrame(scSamples)
 	acSamples := make([]float64, audio.FrameSamples)
 	acf := s.pipe.NextAccessoryFrame(acSamples)
 	s.screenDown.Send(frame{seq: int(scf.Seq), contentStart: int(scf.ContentStart), contentOff: scf.ContentOff, samples: scSamples})
 	s.accessDown.Send(frame{seq: int(acf.Seq), contentStart: int(acf.ContentStart), contentOff: acf.ContentOff, samples: acSamples})
+	if s.rec != nil {
+		s.rec.MediaOut(trace.StreamScreen, scf, 0)
+		s.rec.MediaOut(trace.StreamAccessory, acf, 0)
+	}
 }
 
 func (s *sim) onScreenPacket(p netsim.Packet) {
@@ -469,7 +513,14 @@ func (s *sim) onChatPacket(p netsim.Packet) {
 	}
 	cp := p.Payload.(chatPacket)
 	for _, r := range cp.playbackLog {
-		s.pipe.OfferRecord(serverpipe.Record{ContentStart: int64(r.contentStart), N: r.n, LocalTime: r.localTime})
+		rec := serverpipe.Record{ContentStart: int64(r.contentStart), N: r.n, LocalTime: r.localTime}
+		if s.rec != nil {
+			s.rec.OfferRecord(s.pipe.Now(), rec)
+		}
+		s.pipe.OfferRecord(rec)
+	}
+	if s.rec != nil {
+		s.rec.OfferChat(s.pipe.Now(), uint32(cp.seq), cp.adcLocal, cp.encoded)
 	}
 	s.pipe.OfferChat(uint32(cp.seq), cp.adcLocal, cp.encoded)
 }
@@ -478,25 +529,47 @@ func (s *sim) onChatPacket(p netsim.Packet) {
 // the result log with virtual-time stamps.
 
 // MarkerInjected implements serverpipe.EventSink.
-func (s *sim) MarkerInjected(int64) {}
+func (s *sim) MarkerInjected(content int64) {
+	if s.rec != nil {
+		s.rec.MarkerInjected(content)
+	}
+}
 
 // MarkerMatched implements serverpipe.EventSink.
-func (s *sim) MarkerMatched(int64, float64) {}
+func (s *sim) MarkerMatched(content int64, localTime float64) {
+	if s.rec != nil {
+		s.rec.MarkerMatched(content, localTime)
+	}
+}
 
 // MarkerExpired implements serverpipe.EventSink.
-func (s *sim) MarkerExpired(int64) {}
+func (s *sim) MarkerExpired(content int64) {
+	if s.rec != nil {
+		s.rec.MarkerExpired(content)
+	}
+}
 
 // ChatGapConcealed implements serverpipe.EventSink.
-func (s *sim) ChatGapConcealed(uint32, float64) {}
+func (s *sim) ChatGapConcealed(seq uint32, startLocal float64) {
+	if s.rec != nil {
+		s.rec.ChatGapConcealed(seq, startLocal)
+	}
+}
 
 // ISDMeasurement implements serverpipe.EventSink.
 func (s *sim) ISDMeasurement(now float64, m estimator.Measurement) {
 	s.measurements = append(s.measurements, MeasurementRecord{TimeSec: now, ISDSeconds: m.ISDSeconds})
+	if s.rec != nil {
+		s.rec.ISDMeasurement(now, m)
+	}
 }
 
 // CompensationAction implements serverpipe.EventSink.
 func (s *sim) CompensationAction(now float64, a compensator.Action) {
 	s.actions = append(s.actions, ActionRecord{TimeSec: now, Action: a})
+	if s.rec != nil {
+		s.rec.CompensationAction(now, a)
+	}
 }
 
 // matchTrace emits a ground-truth ISD point when a newly heard screen
@@ -549,6 +622,15 @@ func (s *sim) pruneRecs() {
 }
 
 func (s *sim) finish() *Result {
+	if s.rec != nil {
+		if err := s.rec.Close(); err != nil {
+			panic("session: record: " + err.Error())
+		}
+		if err := s.recFile.Close(); err != nil {
+			panic("session: record: " + err.Error())
+		}
+		s.rec, s.recFile = nil, nil
+	}
 	res := &Result{
 		Trace:        s.trace,
 		Measurements: s.measurements,

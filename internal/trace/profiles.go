@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"ekho/internal/netsim"
+)
+
+// WriteProviderProfiles stores named network provider profiles in the
+// trace container format (a profile file is the preamble followed by one
+// RecProfile record per profile). Session traces and profile files share
+// one format, so tooling needs a single reader.
+func WriteProviderProfiles(w io.Writer, profiles []netsim.ProviderProfile) error {
+	var pre [10]byte
+	copy(pre[:8], magic[:])
+	pre[8] = Version & 0xff
+	pre[9] = Version >> 8
+	if _, err := w.Write(pre[:]); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, p := range profiles {
+		buf = buf[:0]
+		buf = append(buf, byte(RecProfile), 0, 0, 0, 0)
+		buf = appendString(buf, p.Name)
+		buf = appendLinkConfig(buf, p.Down)
+		buf = appendLinkConfig(buf, p.Up)
+		n := uint32(len(buf) - 5)
+		buf[1] = byte(n)
+		buf[2] = byte(n >> 8)
+		buf[3] = byte(n >> 16)
+		buf[4] = byte(n >> 24)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadProviderProfiles loads every provider profile from a trace
+// container, skipping any other record types (so profiles can also ride
+// inside a session trace).
+func ReadProviderProfiles(r io.Reader) ([]netsim.ProviderProfile, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []netsim.ProviderProfile
+	for {
+		t, payload, err := rd.next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if t != RecProfile {
+			continue
+		}
+		d := decoder{b: payload}
+		var p netsim.ProviderProfile
+		p.Name = d.str()
+		p.Down = decodeLinkConfig(&d)
+		p.Up = decodeLinkConfig(&d)
+		if d.err != nil {
+			return nil, fmt.Errorf("trace: profile record: %w", d.err)
+		}
+		out = append(out, p)
+	}
+}
