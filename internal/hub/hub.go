@@ -51,6 +51,26 @@ type Conn interface {
 	Close() error
 }
 
+// BatchConn is the batched wire seam: a Conn that can drain a burst of
+// datagrams per wakeup and flush a burst of sends per call. When the
+// hub's Conn implements it (both *transport.Conn and MemNet endpoints
+// do), the whole receive→dispatch→process→send path runs batched:
+// packet arenas amortize decoding, shard workers wake once per batch,
+// and per-shard egress queues flush through SendBatch. A plain Conn
+// falls back to the per-packet path.
+//
+// RecvBatch fills msgs with one blocking read (until deadline) followed
+// by greedy reads until the socket runs dry or the batch fills, reusing
+// each slot's payload capacity (transport.DecodeInto). From may be nil
+// for data-plane packets; it must be set for Hello and Bye. SendBatch
+// attempts every packet and reports how many were sent plus the first
+// error.
+type BatchConn interface {
+	Conn
+	RecvBatch(deadline time.Time, msgs []transport.Message) (int, error)
+	SendBatch(pkts []transport.Packet) (int, error)
+}
+
 // Config tunes a hub. The zero value serves 64 sessions on 8 shards
 // with the paper's session parameters.
 type Config struct {
@@ -59,6 +79,11 @@ type Config struct {
 	// Shards sets the registry stripe / worker goroutine count
 	// (default 8).
 	Shards int
+	// QueueDepth bounds each shard's work queue (default 256 entries;
+	// one entry is a whole receive sub-batch, not a packet). When a
+	// shard's queue is full, incoming data-plane packets for it are shed
+	// (counted in Snapshot.Shed) instead of blocking the receive loop.
+	QueueDepth int
 	// TickEvery paces media frames (default 20 ms, the wire frame
 	// duration). Negative disables the internal ticker: the caller
 	// drives pacing via Tick, which is how tests run faster than
@@ -98,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 8
 	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
 	if c.TickEvery == 0 {
 		c.TickEvery = 20 * time.Millisecond
 	}
@@ -120,8 +148,19 @@ func (c Config) withDefaults() Config {
 type Hub struct {
 	cfg    Config
 	conn   Conn
+	bconn  BatchConn // non-nil when conn supports batched I/O
 	shards []*shard
 	stats  counters
+
+	// arenaFree recycles receive batch arenas between the receive loop
+	// and the shard workers (batched path only).
+	arenaFree chan *recvArena
+
+	// coarse is the hub's coarse wall clock (UnixNano), refreshed once
+	// per receive batch, media tick and reap probe instead of per packet.
+	// lastActive stamps and the reap cutoff read it, trading per-packet
+	// time.Now() calls for at most one reap-probe interval of slack.
+	coarse atomic.Int64
 
 	draining atomic.Bool
 	served   atomic.Bool
@@ -144,12 +183,19 @@ func New(cfg Config, conn Conn) *Hub {
 		done:  make(chan struct{}),
 		clips: make(map[int]*audio.Buffer),
 	}
+	h.bconn, _ = conn.(BatchConn)
+	h.coarse.Store(time.Now().UnixNano())
 	h.shards = make([]*shard, cfg.Shards)
 	for i := range h.shards {
 		h.shards[i] = &shard{
 			sessions: make(map[uint32]*session),
-			queue:    make(chan work, 256),
+			queue:    make(chan work, cfg.QueueDepth),
+			ctrl:     make(chan work, ctrlDepth),
 		}
+	}
+	h.arenaFree = make(chan *recvArena, numArenas)
+	for i := 0; i < numArenas; i++ {
+		h.arenaFree <- newRecvArena(h)
 	}
 	return h
 }
@@ -201,17 +247,24 @@ func (h *Hub) Serve() error {
 		h.wg.Add(1)
 		go h.reapLoop()
 	}
-	h.logf("hub: serving on %s (capacity %d, %d shards)", h.conn.LocalAddr(), h.cfg.Capacity, h.cfg.Shards)
+	h.logf("hub: serving on %s (capacity %d, %d shards, batched=%v)",
+		h.conn.LocalAddr(), h.cfg.Capacity, h.cfg.Shards, h.bconn != nil)
 
-	err := h.recvLoop()
+	var err error
+	if h.bconn != nil {
+		err = h.recvLoopBatch()
+	} else {
+		err = h.recvLoop()
+	}
 	h.Close()
 	h.wg.Wait()
 	h.flushSessions()
 	return err
 }
 
-// recvLoop reads and dispatches datagrams until the hub closes. Socket
-// errors other than shutdown and deadline expiry are propagated.
+// recvLoop reads and dispatches datagrams one at a time until the hub
+// closes: the fallback path for plain Conns. Socket errors other than
+// shutdown and deadline expiry are propagated.
 func (h *Hub) recvLoop() error {
 	for {
 		msg, err := h.conn.Recv(time.Now().Add(time.Second))
@@ -220,6 +273,7 @@ func (h *Hub) recvLoop() error {
 				return nil
 			}
 			if isTimeout(err) {
+				h.coarse.Store(time.Now().UnixNano())
 				continue
 			}
 			return fmt.Errorf("hub: receive: %w", err)
@@ -227,29 +281,138 @@ func (h *Hub) recvLoop() error {
 		if h.isClosed() {
 			return nil
 		}
+		h.coarse.Store(time.Now().UnixNano())
 		h.Dispatch(msg)
+	}
+}
+
+// recvLoopBatch drains the socket in batches: each wakeup fills a packet
+// arena, then hands every shard its sub-batch in one queue operation.
+func (h *Hub) recvLoopBatch() error {
+	for {
+		a := h.takeArena()
+		if a == nil {
+			return nil // hub closed while all arenas were in flight
+		}
+		n, err := h.bconn.RecvBatch(time.Now().Add(time.Second), a.msgs)
+		if err != nil && n == 0 {
+			h.arenaFree <- a
+			if h.isClosed() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			if isTimeout(err) {
+				h.coarse.Store(time.Now().UnixNano())
+				continue
+			}
+			return fmt.Errorf("hub: receive: %w", err)
+		}
+		if h.isClosed() {
+			h.arenaFree <- a
+			return nil
+		}
+		h.dispatchArena(a, n)
 	}
 }
 
 // Dispatch routes one decoded datagram to its session's shard worker,
 // admitting the session first if the packet is a Hello. It is normally
-// called only by Serve's receive loop; it is exported for benchmarks and
-// tests that drive the hub without a socket.
+// called only by the per-packet fallback receive loop; it is exported
+// for benchmarks and tests that drive the hub without a socket.
 func (h *Hub) Dispatch(msg transport.Message) {
 	h.stats.packetsIn.Add(1)
 	sh := h.shards[shardIndex(msg.Session, len(h.shards))]
+	s := h.route(sh, &msg)
+	if s == nil {
+		return
+	}
+	s.lastActive.Store(h.coarse.Load())
+	h.enqueue(sh, work{kind: workPacket, msg: msg, s: s})
+}
+
+// route resolves a packet to its session, admitting on Hello and
+// counting strays. It returns nil when the packet needs no worker.
+func (h *Hub) route(sh *shard, msg *transport.Message) *session {
 	s := sh.lookup(msg.Session)
 	if s == nil {
 		if msg.Type != transport.TypeHello {
 			h.stats.strays.Add(1)
-			return
+			return nil
 		}
-		if s = h.admit(sh, msg); s == nil {
-			return
+		if s = h.admit(sh, *msg); s == nil {
+			return nil
 		}
 	}
-	s.lastActive.Store(time.Now().UnixNano())
-	h.enqueue(sh, work{kind: workPacket, msg: msg, s: s})
+	return s
+}
+
+// DispatchBatch routes a batch of decoded datagrams with the batched
+// path's cost profile: one stats update, one coarse-clock read and one
+// queue operation per shard sub-batch. The messages' struct fields are
+// copied into an arena, but their backing arrays are shared with the
+// caller until the workers finish the batch — like Dispatch, this is
+// exported for benchmarks, tests and harnesses driving a hub without a
+// socket, which own that lifetime.
+func (h *Hub) DispatchBatch(msgs []transport.Message) {
+	for len(msgs) > 0 {
+		a := h.takeArena()
+		if a == nil {
+			return
+		}
+		n := copy(a.msgs, msgs)
+		msgs = msgs[n:]
+		h.dispatchArena(a, n)
+	}
+}
+
+// dispatchArena routes the first n decoded messages of an arena: data
+// packets are staged into per-shard sub-batches delivered with one
+// channel send each; control packets (Hello/Bye) travel on the shard's
+// control lane so they survive data-plane overload. When a shard's
+// queue is full its sub-batch is shed instead of blocking the receive
+// loop: one slow shard drops its own media, not everyone's.
+func (h *Hub) dispatchArena(a *recvArena, n int) {
+	now := time.Now().UnixNano()
+	h.coarse.Store(now)
+	h.stats.packetsIn.Add(int64(n))
+	a.pending.Store(1) // dispatch hold
+	for i := range a.msgs[:n] {
+		msg := &a.msgs[i]
+		si := shardIndex(msg.Session, len(h.shards))
+		sh := h.shards[si]
+		s := h.route(sh, msg)
+		if s == nil {
+			continue
+		}
+		s.lastActive.Store(now)
+		switch msg.Type {
+		case transport.TypeHello, transport.TypeBye:
+			// Control lane: a struct copy (control packets carry no
+			// payload slices), so delivery never pins the arena.
+			select {
+			case sh.ctrl <- work{kind: workPacket, msg: *msg, s: s}:
+			default:
+				h.stats.ctrlDropped.Add(1)
+			}
+		default:
+			a.perShard[si] = append(a.perShard[si], packetWork{m: msg, s: s})
+		}
+	}
+	for si, items := range a.perShard {
+		if len(items) == 0 {
+			continue
+		}
+		sh := h.shards[si]
+		a.pending.Add(1)
+		select {
+		case sh.queue <- work{kind: workBatch, items: items, arena: a, stamp: now}:
+		default:
+			// Overload: shed this shard's data sub-batch.
+			h.stats.shed.Add(int64(len(items)))
+			a.perShard[si] = items[:0]
+			a.pending.Add(-1)
+		}
+	}
+	a.release() // drop the dispatch hold
 }
 
 // admit applies admission control for a first Hello. It returns the new
@@ -267,7 +430,7 @@ func (h *Hub) admit(sh *shard, msg transport.Message) *session {
 			msg.Session, active, h.cfg.Capacity, h.draining.Load())
 		return nil
 	}
-	s := h.newSession(msg.Session)
+	s := h.newSession(sh, msg.Session)
 	if !sh.insert(s) {
 		// Lost a (benchmark-only) race with another dispatcher; use the
 		// session that won.
@@ -286,6 +449,7 @@ func (h *Hub) admit(sh *shard, msg transport.Message) *session {
 // saturated, so pacing degrades gracefully instead of queueing
 // unboundedly.
 func (h *Hub) Tick() {
+	h.coarse.Store(time.Now().UnixNano())
 	for _, sh := range h.shards {
 		h.enqueue(sh, work{kind: workTick})
 	}
@@ -322,7 +486,13 @@ func (h *Hub) reapLoop() {
 		case <-h.done:
 			return
 		case <-t.C:
-			cutoff := time.Now().Add(-h.cfg.IdleTimeout).UnixNano()
+			// Refresh the coarse clock at the probe so lastActive stamps
+			// written from here on are at least probe-fresh; the stamp
+			// slack is therefore bounded by one probe interval, a
+			// quarter of the timeout being enforced.
+			now := time.Now().UnixNano()
+			h.coarse.Store(now)
+			cutoff := now - h.cfg.IdleTimeout.Nanoseconds()
 			for _, sh := range h.shards {
 				var stale []work
 				sh.mu.Lock()

@@ -33,16 +33,20 @@ func (a memAddr) Network() string { return "mem" }
 func (a memAddr) String() string  { return string(a) }
 
 type datagram struct {
-	b    []byte
-	from memAddr
+	b []byte
+	// from is the sender's boxed address (boxed once per endpoint, so
+	// batch receives stay allocation-free on the receiver).
+	from net.Addr
 }
 
 type memConn struct {
 	net  *MemNet
 	addr memAddr
-	ch   chan datagram
-	done chan struct{}
-	once sync.Once
+	// addrI is addr pre-boxed as a net.Addr.
+	addrI net.Addr
+	ch    chan datagram
+	done  chan struct{}
+	once  sync.Once
 }
 
 // Endpoint creates (or returns) the named endpoint. The queue depth
@@ -60,6 +64,7 @@ func (n *MemNet) Endpoint(name string) Conn {
 		ch:   make(chan datagram, 1024),
 		done: make(chan struct{}),
 	}
+	c.addrI = c.addr
 	n.eps[name] = c
 	return c
 }
@@ -78,7 +83,7 @@ func (c *memConn) SendTo(b []byte, to net.Addr) error {
 	if peer == nil {
 		return fmt.Errorf("memnet: no route to %s", to)
 	}
-	d := datagram{b: append([]byte(nil), b...), from: c.addr}
+	d := datagram{b: append([]byte(nil), b...), from: c.addrI}
 	select {
 	case peer.ch <- d:
 	default:
@@ -105,6 +110,65 @@ func (c *memConn) Recv(deadline time.Time) (transport.Message, error) {
 			return transport.Message{}, os.ErrDeadlineExceeded
 		}
 	}
+}
+
+// RecvBatch implements hub.BatchConn: one blocking receive, then a
+// non-blocking drain of the endpoint queue until the batch fills. The
+// loopback fleet and equivalence tests therefore exercise exactly the
+// batched wire path the live UDP server runs.
+func (c *memConn) RecvBatch(deadline time.Time, msgs []transport.Message) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	n := 0
+	for n < len(msgs) {
+		if n == 0 {
+			select {
+			case <-c.done:
+				return 0, net.ErrClosed
+			case d := <-c.ch:
+				if transport.DecodeInto(&msgs[0], d.b) != nil {
+					continue // ignore stray datagrams
+				}
+				msgs[0].From = d.from
+				n = 1
+			case <-timer.C:
+				return 0, os.ErrDeadlineExceeded
+			}
+			continue
+		}
+		select {
+		case d := <-c.ch:
+			if transport.DecodeInto(&msgs[n], d.b) != nil {
+				continue
+			}
+			msgs[n].From = d.from
+			n++
+		default:
+			return n, nil // queue drained
+		}
+	}
+	return n, nil
+}
+
+// SendBatch implements hub.BatchConn by delivering each datagram in
+// order; like UDP, sends to full or unknown endpoints are dropped
+// (unknown destinations count as errors, as with SendTo).
+func (c *memConn) SendBatch(pkts []transport.Packet) (int, error) {
+	sent := 0
+	var firstErr error
+	for i := range pkts {
+		if err := c.SendTo(pkts[i].Buf, pkts[i].To); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
 }
 
 // LoopbackScenario configures an in-process fleet of emulated player

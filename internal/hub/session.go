@@ -42,8 +42,9 @@ type SessionResult struct {
 // All fields except lastActive are owned by the session's shard worker;
 // lastActive is touched by the receive loop and read by the reaper.
 type session struct {
-	id  uint32
-	hub *Hub
+	id    uint32
+	hub   *Hub
+	shard *shard // the shard this session is pinned to (egress queue)
 
 	screenAddr     net.Addr
 	controllerAddr net.Addr
@@ -59,21 +60,26 @@ type session struct {
 	recFile *os.File
 
 	// Per-tick scratch: one frame is generated, marked, converted and
-	// serialized at a time, so a single set of buffers serves both streams
-	// (the socket layer does not retain sent datagrams).
-	frame []float64
-	pcm   []int16
-	pkt   []byte
+	// serialized at a time. The two packet buffers (one per stream) stay
+	// queued on the shard's egress until the worker flushes it at the
+	// end of the tick, so each needs its own storage; they are free for
+	// reuse by the next tick, which runs strictly after the flush.
+	frame   []float64
+	pcm     []int16
+	pktScr  []byte
+	pktAcc  []byte
+	lastPkt int // wire size of the most recently serialized frame
 
 	// lastActive is the wall clock (UnixNano) of the last packet seen
 	// for this session, maintained by the receive loop for the reaper.
 	lastActive atomic.Int64
 }
 
-func (h *Hub) newSession(id uint32) *session {
+func (h *Hub) newSession(sh *shard, id uint32) *session {
 	s := &session{
 		id:    id,
 		hub:   h,
+		shard: sh,
 		res:   SessionResult{ID: id},
 		frame: make([]float64, ekho.FrameSamples),
 		pcm:   make([]int16, ekho.FrameSamples),
@@ -130,8 +136,11 @@ func (s *session) closeRecorder() {
 }
 
 // handle processes one packet on the shard worker. It reports true when
-// the session ended (Bye) and should be removed.
-func (s *session) handle(msg transport.Message) (done bool) {
+// the session ended (Bye) and should be removed. Batch items pass a
+// pointer into the receive arena; nothing in msg may be retained past
+// the call except From (control packets only), which the dispatcher
+// materialized as a stable value.
+func (s *session) handle(msg *transport.Message) (done bool) {
 	switch msg.Type {
 	case transport.TypeHello:
 		s.hello(msg)
@@ -144,7 +153,7 @@ func (s *session) handle(msg transport.Message) (done bool) {
 	return false
 }
 
-func (s *session) hello(msg transport.Message) {
+func (s *session) hello(msg *transport.Message) {
 	switch msg.Hello.Role {
 	case transport.RoleScreen:
 		s.screenAddr = msg.From
@@ -165,7 +174,8 @@ func (s *session) hello(msg transport.Message) {
 }
 
 // tick emits one 20 ms frame pair: marked screen audio to the screen
-// endpoint and accessory audio to the controller endpoint.
+// endpoint and accessory audio to the controller endpoint. Both packets
+// are queued on the shard's egress and leave in one batched flush.
 func (s *session) tick() {
 	if !s.ready {
 		return
@@ -174,16 +184,16 @@ func (s *session) tick() {
 		s.rec.Tick(s.pipe.Now())
 	}
 	fi := s.pipe.NextScreenFrame(s.frame)
-	s.sendMedia(s.screenAddr, transport.Media{
+	s.pktScr = s.sendMedia(s.pktScr, s.screenAddr, transport.Media{
 		Seq: fi.Seq, Session: s.id, ContentStart: fi.ContentStart, ContentOff: uint16(fi.ContentOff)})
 	if s.rec != nil {
-		s.rec.MediaOut(trace.StreamScreen, fi, len(s.pkt))
+		s.rec.MediaOut(trace.StreamScreen, fi, s.lastPkt)
 	}
 	fi = s.pipe.NextAccessoryFrame(s.frame)
-	s.sendMedia(s.controllerAddr, transport.Media{
+	s.pktAcc = s.sendMedia(s.pktAcc, s.controllerAddr, transport.Media{
 		Seq: fi.Seq, Session: s.id, ContentStart: fi.ContentStart, ContentOff: uint16(fi.ContentOff)})
 	if s.rec != nil {
-		s.rec.MediaOut(trace.StreamAccessory, fi, len(s.pkt))
+		s.rec.MediaOut(trace.StreamAccessory, fi, s.lastPkt)
 	}
 	s.res.Frames++
 }
@@ -217,20 +227,25 @@ func (s *session) chat(chat transport.Chat) {
 func (s *session) result() SessionResult { return s.res }
 
 // sendMedia serializes the session's scratch frame as the media payload
-// and transmits it through the hub socket, reusing the session's int16 and
-// packet buffers. Safe because neither MemNet nor UDP retains the datagram
-// after SendTo returns.
-func (s *session) sendMedia(to net.Addr, m transport.Media) {
+// into buf (reusing its capacity) and queues it on the shard's egress;
+// the worker's end-of-item flush transmits it. It returns the grown
+// buffer for the caller to retain; s.lastPkt records the wire size.
+func (s *session) sendMedia(buf []byte, to net.Addr, m transport.Media) []byte {
 	for i, v := range s.frame {
 		s.pcm[i] = audio.FloatToInt16(v)
 	}
 	m.Samples = s.pcm
-	var err error
-	if s.pkt, err = transport.AppendMedia(s.pkt[:0], m); err != nil {
+	out, err := transport.AppendMedia(buf[:0], m)
+	if err != nil {
 		s.hub.stats.sendErrs.Add(1)
-		return
+		s.lastPkt = 0
+		return buf
 	}
-	s.hub.send(s.pkt, to)
+	s.lastPkt = len(out)
+	if to != nil {
+		s.shard.egress = append(s.shard.egress, transport.Packet{Buf: out, To: to})
+	}
+	return out
 }
 
 // stat snapshots the session as a stable per-session status line; shard

@@ -2,10 +2,17 @@ package hub
 
 import (
 	"sync"
+	"time"
 
 	"ekho/internal/trace"
 	"ekho/internal/transport"
 )
+
+// ctrlDepth bounds each shard's control lane. Control packets are rare
+// (a few per session lifetime), so this only fills when a shard is
+// wedged while a client retries hellos — at which point dropping them is
+// the UDP-shaped answer.
+const ctrlDepth = 64
 
 // A shard owns a stripe of the session registry plus the single worker
 // goroutine that executes all DSP and compensation for its sessions.
@@ -16,26 +23,43 @@ import (
 type shard struct {
 	mu       sync.Mutex
 	sessions map[uint32]*session
-	queue    chan work
+	// queue carries the data plane: batches of packets, ticks, reap
+	// probes. When it is full, new data packets for this shard are shed.
+	queue chan work
+	// ctrl carries Hello/Bye packets with priority over queued data, so
+	// session control survives data-plane overload.
+	ctrl chan work
 	// scratch is the worker-owned reusable slice for tick fan-out.
 	scratch []*session
+	// egress queues this shard's outbound datagrams during a work item;
+	// the worker flushes it through SendBatch once per batch/tick.
+	egress []transport.Packet
 }
 
 type workKind uint8
 
 const (
 	workPacket workKind = iota
+	workBatch
 	workTick
 	workReap
 	workStats
 )
 
-// work is one unit handed to a shard worker: a decoded packet for a
-// session, a media tick for every session in the shard, or a reap probe.
+// work is one unit handed to a shard worker: a batch of packets (the
+// batched receive path), a single packet (control lane and the
+// per-packet fallback), a media tick for every session in the shard, or
+// a reap probe.
 type work struct {
 	kind workKind
 	msg  transport.Message
 	s    *session
+	// items/arena/stamp carry a receive sub-batch: the packets, the
+	// arena to release afterwards, and the dispatch time (UnixNano) that
+	// feeds the dispatch-latency histogram.
+	items []packetWork
+	arena *recvArena
+	stamp int64
 	// id/seen carry the reap probe: the session to evict and the
 	// lastActive value the reaper observed (the eviction is aborted if a
 	// packet arrived in between).
@@ -88,49 +112,94 @@ func (h *Hub) enqueue(sh *shard, w work) bool {
 	}
 }
 
-// worker runs a shard's processing loop until the hub closes.
+// worker runs a shard's processing loop until the hub closes. Control
+// work is polled first each round so Hello/Bye overtake queued data
+// batches when both are pending.
 func (h *Hub) worker(sh *shard) {
 	defer h.wg.Done()
 	for {
 		select {
+		case w := <-sh.ctrl:
+			h.process(sh, w)
+			continue
+		default:
+		}
+		select {
 		case <-h.done:
 			return
+		case w := <-sh.ctrl:
+			h.process(sh, w)
 		case w := <-sh.queue:
-			switch w.kind {
-			case workPacket:
-				if done := w.s.handle(w.msg); done {
-					h.remove(sh, w.s, false)
-				}
-			case workTick:
-				sh.mu.Lock()
-				sh.scratch = sh.scratch[:0]
-				for _, s := range sh.sessions {
-					sh.scratch = append(sh.scratch, s)
-				}
-				sh.mu.Unlock()
-				for _, s := range sh.scratch {
-					s.tick()
-				}
-			case workReap:
-				s := sh.lookup(w.id)
-				if s != nil && s.lastActive.Load() == w.seen {
-					h.remove(sh, s, true)
-				}
-			case workStats:
-				sh.mu.Lock()
-				sh.scratch = sh.scratch[:0]
-				for _, s := range sh.sessions {
-					sh.scratch = append(sh.scratch, s)
-				}
-				sh.mu.Unlock()
-				stats := make([]trace.SessionStat, 0, len(sh.scratch))
-				for _, s := range sh.scratch {
-					stats = append(stats, s.stat())
-				}
-				w.stats <- stats
-			}
+			h.process(sh, w)
 		}
 	}
+}
+
+// process executes one work item on the shard worker and flushes any
+// egress it queued.
+func (h *Hub) process(sh *shard, w work) {
+	switch w.kind {
+	case workPacket:
+		if done := w.s.handle(&w.msg); done {
+			h.remove(sh, w.s, false)
+		}
+	case workBatch:
+		h.stats.observeDispatch(time.Now().UnixNano()-w.stamp, len(w.items))
+		for _, pw := range w.items {
+			if done := pw.s.handle(pw.m); done {
+				h.remove(sh, pw.s, false)
+			}
+		}
+		w.arena.release()
+	case workTick:
+		sh.mu.Lock()
+		sh.scratch = sh.scratch[:0]
+		for _, s := range sh.sessions {
+			sh.scratch = append(sh.scratch, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range sh.scratch {
+			s.tick()
+		}
+	case workReap:
+		s := sh.lookup(w.id)
+		if s != nil && s.lastActive.Load() == w.seen {
+			h.remove(sh, s, true)
+		}
+	case workStats:
+		sh.mu.Lock()
+		sh.scratch = sh.scratch[:0]
+		for _, s := range sh.sessions {
+			sh.scratch = append(sh.scratch, s)
+		}
+		sh.mu.Unlock()
+		stats := make([]trace.SessionStat, 0, len(sh.scratch))
+		for _, s := range sh.scratch {
+			stats = append(stats, s.stat())
+		}
+		w.stats <- stats
+	}
+	h.flushEgress(sh)
+}
+
+// flushEgress transmits the shard's queued outbound datagrams: one
+// SendBatch on the batched path, a SendTo loop on the fallback. Called
+// only on the shard's worker, after which the sessions' packet buffers
+// are free to be reused.
+func (h *Hub) flushEgress(sh *shard) {
+	if len(sh.egress) == 0 {
+		return
+	}
+	if h.bconn != nil {
+		sent, _ := h.bconn.SendBatch(sh.egress)
+		h.stats.packetsOut.Add(int64(sent))
+		h.stats.sendErrs.Add(int64(len(sh.egress) - sent))
+	} else {
+		for i := range sh.egress {
+			h.send(sh.egress[i].Buf, sh.egress[i].To)
+		}
+	}
+	sh.egress = sh.egress[:0]
 }
 
 // remove unregisters a session and emits its result. Called only from

@@ -2,10 +2,17 @@ package hub
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"ekho/internal/trace"
 )
+
+// latBuckets sizes the dispatch-latency histogram: bucket i counts
+// packets whose receive-to-worker latency was in [2^(i-1), 2^i) ns, so
+// the range spans 1 ns to ~9 s in powers of two.
+const latBuckets = 34
 
 // counters is the hub's always-on accounting, updated with atomics from
 // the receive loop, the shard workers and the reaper so a Snapshot never
@@ -23,6 +30,81 @@ type counters struct {
 	sendErrs     atomic.Int64
 	measurements atomic.Int64
 	actions      atomic.Int64
+	// shed counts data-plane packets dropped because their shard's queue
+	// was full (overload shedding); ctrlDropped counts control packets
+	// dropped because a shard's control lane overflowed (pathological).
+	shed        atomic.Int64
+	ctrlDropped atomic.Int64
+	// latency is the packet-weighted dispatch-latency histogram, updated
+	// once per processed batch by the shard workers.
+	latency [latBuckets]atomic.Int64
+}
+
+// observeDispatch records one batch's receive-to-worker latency for all
+// of its packets (one histogram update per batch, not per packet).
+func (c *counters) observeDispatch(ns int64, packets int) {
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	c.latency[b].Add(int64(packets))
+}
+
+// LatencyHist is a point-in-time copy of the dispatch-latency histogram:
+// bucket i counts packets whose latency was below 2^i ns.
+type LatencyHist [latBuckets]int64
+
+// Count returns the total number of packets observed.
+func (l LatencyHist) Count() int64 {
+	var n int64
+	for _, v := range l {
+		n += v
+	}
+	return n
+}
+
+// Sub returns the histogram of packets observed since prev.
+func (l LatencyHist) Sub(prev LatencyHist) LatencyHist {
+	for i := range l {
+		l[i] -= prev[i]
+	}
+	return l
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of the
+// observed dispatch latency, at power-of-two resolution. It returns 0
+// when the histogram is empty.
+func (l LatencyHist) Quantile(q float64) time.Duration {
+	total := l.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, v := range l {
+		seen += v
+		if seen >= rank {
+			return time.Duration(uint64(1) << uint(i))
+		}
+	}
+	return time.Duration(uint64(1) << (latBuckets - 1))
+}
+
+// DispatchLatency snapshots the batched path's receive-to-worker latency
+// histogram. Only batches carry latency stamps; the legacy per-packet
+// Dispatch path does not contribute.
+func (h *Hub) DispatchLatency() LatencyHist {
+	var l LatencyHist
+	for i := range l {
+		l[i] = h.stats.latency[i].Load()
+	}
+	return l
 }
 
 // bumpPeak raises the peak-session mark to at least cur.
@@ -56,6 +138,11 @@ type Snapshot struct {
 	PacketsOut int64
 	Strays     int64
 	SendErrors int64
+	// Shed counts data-plane packets dropped by overload shedding
+	// (their shard's queue was full); CtrlDropped counts control packets
+	// dropped because a shard's control lane overflowed.
+	Shed        int64
+	CtrlDropped int64
 	// Measurements / Actions aggregate the per-session estimator and
 	// compensator activity across all sessions ever hosted.
 	Measurements int64
@@ -77,6 +164,8 @@ func (h *Hub) Stats() Snapshot {
 		PacketsOut:     c.packetsOut.Load(),
 		Strays:         c.strays.Load(),
 		SendErrors:     c.sendErrs.Load(),
+		Shed:           c.shed.Load(),
+		CtrlDropped:    c.ctrlDropped.Load(),
 		Measurements:   c.measurements.Load(),
 		Actions:        c.actions.Load(),
 	}
@@ -112,7 +201,7 @@ func (h *Hub) SessionStats() []trace.SessionStat {
 // String formats the snapshot as a one-line status report.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"sessions active=%d peak=%d admitted=%d rejected=%d reaped=%d ended=%d | packets in=%d out=%d strays=%d senderrs=%d | measurements=%d actions=%d",
+		"sessions active=%d peak=%d admitted=%d rejected=%d reaped=%d ended=%d | packets in=%d out=%d strays=%d senderrs=%d shed=%d | measurements=%d actions=%d",
 		s.ActiveSessions, s.PeakSessions, s.Admitted, s.Rejected, s.Reaped, s.Ended,
-		s.PacketsIn, s.PacketsOut, s.Strays, s.SendErrors, s.Measurements, s.Actions)
+		s.PacketsIn, s.PacketsOut, s.Strays, s.SendErrors, s.Shed, s.Measurements, s.Actions)
 }

@@ -31,6 +31,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
+	"os"
 	"time"
 )
 
@@ -201,8 +203,16 @@ func AppendMedia(dst []byte, m Media) ([]byte, error) {
 
 // DecodeMedia parses a media frame body (after the header).
 func DecodeMedia(seq, session uint32, body []byte) (Media, error) {
+	return decodeMediaInto(nil, seq, session, body)
+}
+
+// decodeMediaInto parses a media body, appending samples onto the given
+// (capacity-reused) slice. The samples are copied out of body, never
+// aliased. On error the retained slice is handed back via Media.Samples
+// so the caller's arena slot keeps its capacity.
+func decodeMediaInto(samples []int16, seq, session uint32, body []byte) (Media, error) {
 	if len(body) < 12 {
-		return Media{}, ErrBadPacket
+		return Media{Samples: samples}, ErrBadPacket
 	}
 	m := Media{Seq: seq, Session: session}
 	m.ContentStart = int64(binary.LittleEndian.Uint64(body[0:]))
@@ -210,12 +220,12 @@ func DecodeMedia(seq, session uint32, body []byte) (Media, error) {
 	n := int(binary.LittleEndian.Uint16(body[10:]))
 	body = body[12:]
 	if len(body) < 2*n {
-		return Media{}, fmt.Errorf("%w: media wants %d samples, has %d bytes", ErrBadPacket, n, len(body))
+		return Media{Samples: samples}, fmt.Errorf("%w: media wants %d samples, has %d bytes", ErrBadPacket, n, len(body))
 	}
-	m.Samples = make([]int16, n)
 	for i := 0; i < n; i++ {
-		m.Samples[i] = int16(binary.LittleEndian.Uint16(body[2*i:]))
+		samples = append(samples, int16(binary.LittleEndian.Uint16(body[2*i:])))
 	}
+	m.Samples = samples
 	return m, nil
 }
 
@@ -253,18 +263,26 @@ func AppendChat(dst []byte, c Chat) ([]byte, error) {
 
 // DecodeChat parses a chat packet body.
 func DecodeChat(seq, session uint32, body []byte) (Chat, error) {
+	return decodeChatInto(nil, nil, seq, session, body)
+}
+
+// decodeChatInto parses a chat body, appending records and encoded bytes
+// onto the given (capacity-reused) slices. The payload is copied out of
+// body, never aliased. On error the retained slices are handed back via
+// the Chat fields so the caller's arena slot keeps its capacity.
+func decodeChatInto(records []PlaybackRecord, encoded []byte, seq, session uint32, body []byte) (Chat, error) {
 	if len(body) < 10 {
-		return Chat{}, ErrBadPacket
+		return Chat{Records: records, Encoded: encoded}, ErrBadPacket
 	}
 	c := Chat{Seq: seq, Session: session}
 	c.ADCMicros = int64(binary.LittleEndian.Uint64(body[0:]))
 	nr := int(binary.LittleEndian.Uint16(body[8:]))
 	body = body[10:]
 	if len(body) < nr*18 {
-		return Chat{}, fmt.Errorf("%w: chat wants %d records", ErrBadPacket, nr)
+		return Chat{Records: records, Encoded: encoded}, fmt.Errorf("%w: chat wants %d records", ErrBadPacket, nr)
 	}
 	for i := 0; i < nr; i++ {
-		c.Records = append(c.Records, PlaybackRecord{
+		records = append(records, PlaybackRecord{
 			ContentStart: int64(binary.LittleEndian.Uint64(body[0:])),
 			LocalMicros:  int64(binary.LittleEndian.Uint64(body[8:])),
 			N:            binary.LittleEndian.Uint16(body[16:]),
@@ -272,14 +290,15 @@ func DecodeChat(seq, session uint32, body []byte) (Chat, error) {
 		body = body[18:]
 	}
 	if len(body) < 2 {
-		return Chat{}, ErrBadPacket
+		return Chat{Records: records, Encoded: encoded}, ErrBadPacket
 	}
 	ne := int(binary.LittleEndian.Uint16(body[0:]))
 	body = body[2:]
 	if len(body) < ne {
-		return Chat{}, fmt.Errorf("%w: chat wants %d encoded bytes", ErrBadPacket, ne)
+		return Chat{Records: records, Encoded: encoded}, fmt.Errorf("%w: chat wants %d encoded bytes", ErrBadPacket, ne)
 	}
-	c.Encoded = append([]byte(nil), body[:ne]...)
+	c.Records = records
+	c.Encoded = append(encoded, body[:ne]...)
 	return c, nil
 }
 
@@ -336,28 +355,54 @@ type Message struct {
 	From    net.Addr
 }
 
-// Decode parses any Ekho datagram.
+// Decode parses any Ekho datagram. The returned message owns its data:
+// nothing in it aliases b, so the caller's receive buffer is free to be
+// reused for the next datagram.
 func Decode(b []byte) (Message, error) {
+	var msg Message
+	err := DecodeInto(&msg, b)
+	return msg, err
+}
+
+// DecodeInto is Decode reusing msg as a decode arena: the capacity of
+// msg's payload slices (Media.Samples, Chat.Records, Chat.Encoded) is
+// kept across calls, so a steady-state receive loop that recycles its
+// Message slots decodes without allocating. Every other field is reset.
+// Like Decode, the result never aliases b. On error msg is left zeroed
+// (payload capacity still retained).
+func DecodeInto(msg *Message, b []byte) error {
+	samples := msg.Media.Samples[:0]
+	records := msg.Chat.Records[:0]
+	encoded := msg.Chat.Encoded[:0]
+	*msg = Message{}
 	t, seq, session, body, err := parseHeader(b)
 	if err != nil {
-		return Message{}, err
+		// Park the retained capacity so the slot stays reusable.
+		msg.Media.Samples, msg.Chat.Records, msg.Chat.Encoded = samples, records, encoded
+		return err
 	}
-	msg := Message{Type: t, Session: session}
+	msg.Type, msg.Session = t, session
 	switch t {
 	case TypeMedia:
-		msg.Media, err = DecodeMedia(seq, session, body)
+		msg.Media, err = decodeMediaInto(samples, seq, session, body)
+		msg.Chat.Records, msg.Chat.Encoded = records, encoded
 	case TypeChat:
-		msg.Chat, err = DecodeChat(seq, session, body)
-	case TypeHello:
-		msg.Hello, err = DecodeHello(seq, session, body)
-	case TypeBye:
-		msg.Bye = Bye{Seq: seq, Session: session}
-	case TypeBusy:
-		msg.Busy, err = DecodeBusy(seq, session, body)
+		msg.Chat, err = decodeChatInto(records, encoded, seq, session, body)
+		msg.Media.Samples = samples
 	default:
-		err = fmt.Errorf("%w: unknown type %d", ErrBadPacket, t)
+		msg.Media.Samples, msg.Chat.Records, msg.Chat.Encoded = samples, records, encoded
+		switch t {
+		case TypeHello:
+			msg.Hello, err = DecodeHello(seq, session, body)
+		case TypeBye:
+			msg.Bye = Bye{Seq: seq, Session: session}
+		case TypeBusy:
+			msg.Busy, err = DecodeBusy(seq, session, body)
+		default:
+			err = fmt.Errorf("%w: unknown type %d", ErrBadPacket, t)
+		}
 	}
-	return msg, err
+	return err
 }
 
 // Conn wraps a UDP socket with Ekho framing.
@@ -407,6 +452,118 @@ func (c *Conn) Recv(deadline time.Time) (Message, error) {
 		msg.From = from
 		return msg, nil
 	}
+}
+
+// Packet is one outbound datagram for batched sends: an encoded wire
+// buffer plus its destination.
+type Packet struct {
+	Buf []byte
+	To  net.Addr
+}
+
+// recvDrainWindow is how long RecvBatch keeps draining the socket after
+// its first datagram before handing back a partial batch. Reads inside
+// the window return immediately while datagrams are queued in the kernel
+// buffer, so under load the window never expires; when the socket runs
+// dry it bounds the extra latency a batch can add.
+const recvDrainWindow = 100 * time.Microsecond
+
+// RecvBatch reads a burst of datagrams: one blocking read (until
+// deadline), then greedy short-fuse reads until the batch fills or the
+// socket runs dry. It decodes each datagram into the corresponding msgs
+// slot with DecodeInto, so a caller that recycles its batch receives
+// without allocating in steady state. It returns the number of slots
+// filled; undecodable datagrams are skipped.
+//
+// From is materialized only for control packets (Hello, Bye): data-plane
+// packets arrive with From == nil, keeping the hot path allocation-free
+// (servers act on a data packet's session id, not its source address).
+func (c *Conn) RecvBatch(deadline time.Time, msgs []Message) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	uc, _ := c.pc.(*net.UDPConn)
+	if err := c.pc.SetReadDeadline(deadline); err != nil {
+		return 0, fmt.Errorf("transport: deadline: %w", err)
+	}
+	n := 0
+	for n < len(msgs) {
+		var (
+			nb   int
+			ap   netip.AddrPort
+			from net.Addr
+			err  error
+		)
+		if uc != nil {
+			nb, ap, err = uc.ReadFromUDPAddrPort(c.buf)
+		} else {
+			nb, from, err = c.pc.ReadFrom(c.buf)
+		}
+		if err != nil {
+			if n > 0 && isDeadline(err) {
+				return n, nil // batch closed by an empty socket
+			}
+			return n, err
+		}
+		if first := n == 0; first {
+			// Switch to drain mode: subsequent reads return right away
+			// once the kernel buffer is empty.
+			if err := c.pc.SetReadDeadline(time.Now().Add(recvDrainWindow)); err != nil {
+				return n, fmt.Errorf("transport: deadline: %w", err)
+			}
+		}
+		if derr := DecodeInto(&msgs[n], c.buf[:nb]); derr != nil {
+			continue // ignore stray datagrams
+		}
+		switch msgs[n].Type {
+		case TypeHello, TypeBye:
+			if uc != nil {
+				from = net.UDPAddrFromAddrPort(ap)
+			}
+			msgs[n].From = from
+		default:
+			msgs[n].From = from // nil on the UDP fast path
+		}
+		n++
+	}
+	return n, nil
+}
+
+// SendBatch transmits a burst of encoded datagrams, attempting every
+// packet even after an error. It returns how many packets were sent and
+// the first error encountered. Destinations that are *net.UDPAddr on a
+// UDP socket take an allocation-free fast path.
+func (c *Conn) SendBatch(pkts []Packet) (int, error) {
+	uc, _ := c.pc.(*net.UDPConn)
+	sent := 0
+	var firstErr error
+	for i := range pkts {
+		var err error
+		if ua, ok := pkts[i].To.(*net.UDPAddr); ok && uc != nil {
+			// Unmap 4-in-6 so an IPv4-bound socket accepts the address.
+			ap := ua.AddrPort()
+			_, err = uc.WriteToUDPAddrPort(pkts[i].Buf, netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()))
+		} else {
+			_, err = c.pc.WriteTo(pkts[i].Buf, pkts[i].To)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: send: %w", err)
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}
+
+// isDeadline reports whether err is a read-deadline expiry.
+func isDeadline(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // ResolveUDP parses an address for SendTo.
