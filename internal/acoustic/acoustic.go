@@ -165,6 +165,13 @@ type Channel struct {
 	// ExtraDelaySec adds arbitrary extra delay (device playback lag used
 	// by experiment setups); may be fractional samples.
 	ExtraDelaySec float64
+	// SROPPM is the capture device's sample-rate offset in parts per
+	// million: its ADC oscillator runs at rate·(1+SROPPM·1e-6), so the
+	// captured buffer holds the air signal stretched (positive SRO) or
+	// squeezed (negative) by that ratio. Tens of ppm are typical for
+	// consumer audio chains (arXiv:2507.05399); 0 disables resampling
+	// and keeps Transmit bit-identical to the SRO-free model.
+	SROPPM float64
 }
 
 // DefaultChannel is the standard evaluation setup: Xbox headset, 6 ft from
@@ -226,6 +233,18 @@ func (c Channel) Transmit(b *audio.Buffer) *audio.Buffer {
 		for i := range samples {
 			samples[i] += rng.NormFloat64() * c.AmbientLevel
 		}
+	}
+
+	// Sample-rate offset: the ADC samples the (analog) mic signal at a
+	// skewed rate, reading one true-rate sample every 1/(1+sro·1e-6)
+	// positions. Same output length; content drifts by sro µs per second.
+	if c.SROPPM != 0 {
+		step := 1 / (1 + c.SROPPM*1e-6)
+		skewed := make([]float64, len(samples))
+		for i := range skewed {
+			skewed[i] = dsp.Interp(samples, float64(i)*step)
+		}
+		samples = skewed
 	}
 	return audio.FromSamples(rate, samples)
 }

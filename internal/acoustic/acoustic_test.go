@@ -194,6 +194,36 @@ func abs(a int) int {
 	return a
 }
 
+func TestChannelSRODriftsImpulse(t *testing.T) {
+	// A +500 ppm capture oscillator stretches the recording: an impulse
+	// 2 s in lands 2 s · 500 µs/s = 48 samples later than without SRO.
+	base := Channel{Mic: StudioMic, Attenuation: 1, AmbientLevel: 0}
+	skewed := base
+	skewed.SROPPM = 500
+	b := audio.NewBuffer(audio.SampleRate, 3*audio.SampleRate)
+	b.Samples[2*audio.SampleRate] = 1
+	p0 := dsp.ArgMaxAbs(base.Transmit(b).Samples)
+	p1 := dsp.ArgMaxAbs(skewed.Transmit(b).Samples)
+	if shift := p1 - p0; abs(shift-48) > 2 {
+		t.Fatalf("impulse shifted %d samples, want ~48", shift)
+	}
+}
+
+func TestChannelZeroSROIdentical(t *testing.T) {
+	// SROPPM = 0 must leave Transmit bit-identical to the pre-SRO model
+	// (no resampling pass at all).
+	c := DefaultChannel()
+	cz := c
+	cz.SROPPM = 0
+	tone := audio.Tone(audio.SampleRate, 3000, 1, 0.5)
+	a, bb := c.Transmit(tone), cz.Transmit(tone)
+	for i := range a.Samples {
+		if a.Samples[i] != bb.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a.Samples[i], bb.Samples[i])
+		}
+	}
+}
+
 func BenchmarkTransmit1s(b *testing.B) {
 	c := DefaultChannel()
 	tone := audio.Tone(audio.SampleRate, 3000, 1, 0.5)

@@ -1,0 +1,209 @@
+package dsp
+
+import "math"
+
+// Streaming fractional-ratio resampler.
+//
+// The compensator's micro-resampling action stretches or squeezes a media
+// stream by tens to hundreds of ppm to cancel a device's sample-rate
+// offset. That needs a resampler that (a) runs incrementally on 20 ms
+// frames, (b) allows the ratio to change between frames without phase
+// discontinuities, and (c) allocates nothing in steady state. The kernel
+// is the same Hann-windowed sinc as FractionalDelay, evaluated through a
+// precomputed polyphase table so the per-sample cost is 2·H multiplies.
+
+// resampleHalfWidth is the interpolation kernel half-width H: each output
+// sample is a weighted sum of 2·H input samples. 4 taps per side keeps
+// images below audibility for ratios within a few percent of unity (the
+// micro-resampling regime is within hundreds of ppm).
+const resampleHalfWidth = 4
+
+// resamplePhases is the number of fractional phases in the polyphase
+// table. Nearest-phase lookup quantizes sample positions to 1/(2·phases)
+// of a sample — ~1 µs of timing error at 48 kHz, far below the
+// sub-millisecond scales Ekho cares about.
+const resamplePhases = 1024
+
+var resampleTable = buildResampleTable()
+
+// buildResampleTable tabulates the windowed-sinc kernel at resamplePhases
+// fractional offsets. Row p holds the 2·H taps for reading at position
+// i + p/phases; each row is normalized to unit DC gain so a constant
+// input yields exactly a constant output at every phase.
+func buildResampleTable() [][2 * resampleHalfWidth]float64 {
+	tbl := make([][2 * resampleHalfWidth]float64, resamplePhases)
+	for p := range tbl {
+		frac := float64(p) / resamplePhases
+		var sum float64
+		for k := 0; k < 2*resampleHalfWidth; k++ {
+			t := frac + float64(resampleHalfWidth-1-k)
+			tbl[p][k] = sincHann(t, resampleHalfWidth)
+			sum += tbl[p][k]
+		}
+		for k := range tbl[p] {
+			tbl[p][k] /= sum
+		}
+	}
+	return tbl
+}
+
+// InterpHalfWidth is the interpolation kernel half-width in samples:
+// Interp reads taps spanning [floor(pos)-InterpHalfWidth+1,
+// floor(pos)+InterpHalfWidth]. Callers that stream through a sliding
+// buffer need this much history and lookahead around each read position.
+const InterpHalfWidth = resampleHalfWidth
+
+// Interp evaluates the tabulated windowed-sinc kernel at fractional
+// position pos over x, treating out-of-range taps as zero. The session
+// simulator uses it to model an ADC sampling the air at a skewed rate.
+func Interp(x []float64, pos float64) float64 { return interpAt(x, pos) }
+
+// interpAt evaluates the tabulated kernel at fractional position pos over
+// x, treating out-of-range taps as zero. Taps span
+// [floor(pos)-H+1, floor(pos)+H].
+func interpAt(x []float64, pos float64) float64 {
+	ip := math.Floor(pos)
+	i := int(ip)
+	p := int((pos-ip)*resamplePhases + 0.5)
+	if p >= resamplePhases {
+		// Fraction rounded up to the next integer position.
+		p = 0
+		i++
+	}
+	row := &resampleTable[p]
+	var acc float64
+	for k := 0; k < 2*resampleHalfWidth; k++ {
+		j := i - resampleHalfWidth + 1 + k
+		if j >= 0 && j < len(x) {
+			acc += x[j] * row[k]
+		}
+	}
+	return acc
+}
+
+// InterpLooped evaluates the tabulated kernel at fractional position pos
+// over an infinitely looped buffer (tap indices wrap mod len(x)). The
+// server streams read looping game clips this way when micro-resampling:
+// the full clip is always addressable, so no history state is needed.
+// pos may exceed len(x) (unlooped content positions).
+func InterpLooped(x []float64, pos float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	ip := math.Floor(pos)
+	i := int(ip)
+	p := int((pos-ip)*resamplePhases + 0.5)
+	if p >= resamplePhases {
+		p = 0
+		i++
+	}
+	row := &resampleTable[p]
+	var acc float64
+	for k := 0; k < 2*resampleHalfWidth; k++ {
+		j := (i - resampleHalfWidth + 1 + k) % n
+		if j < 0 {
+			j += n
+		}
+		acc += x[j] * row[k]
+	}
+	return acc
+}
+
+// StreamResampler converts a sample stream by a slowly varying ratio.
+// Step is the number of input samples consumed per output sample: step > 1
+// drains input faster than it produces output (content speeds up, pitch
+// rises by the same ratio), step < 1 stretches it. The zero value is not
+// usable; construct with NewStreamResampler.
+type StreamResampler struct {
+	step float64
+	buf  []float64 // pending input, including kernel history
+	pos  float64   // fractional read position within buf
+	in   int64     // total input samples accepted (diagnostics/tests)
+	out  int64     // total output samples produced
+}
+
+// NewStreamResampler returns a resampler with the given initial step,
+// pre-sized so that feeding chunks of up to maxChunk samples never
+// allocates after construction. The kernel is primed with leading zeros,
+// so the first output sample is aligned with the first input sample.
+func NewStreamResampler(step float64, maxChunk int) *StreamResampler {
+	if !(step > 0) || math.IsInf(step, 0) {
+		panic("dsp: StreamResampler step must be positive and finite")
+	}
+	if maxChunk < 1 {
+		maxChunk = 1
+	}
+	r := &StreamResampler{
+		step: step,
+		buf:  make([]float64, resampleHalfWidth-1, maxChunk+4*resampleHalfWidth),
+	}
+	r.pos = resampleHalfWidth - 1
+	return r
+}
+
+// SetStep retargets the conversion ratio. The change is phase-continuous:
+// the read position is preserved, so retuning mid-stream produces no
+// click. Panics on non-positive or non-finite steps.
+func (r *StreamResampler) SetStep(step float64) {
+	if !(step > 0) || math.IsInf(step, 0) {
+		panic("dsp: StreamResampler step must be positive and finite")
+	}
+	r.step = step
+}
+
+// Step returns the current conversion ratio (input samples per output
+// sample).
+func (r *StreamResampler) Step() float64 { return r.step }
+
+// Process feeds src into the resampler and appends every output sample
+// that becomes computable to dst, returning the extended slice. Output
+// lags input by the kernel half-width (H samples); Flush drains the tail
+// at end of stream. dst may be nil; pass a slice with spare capacity to
+// keep the call allocation-free.
+func (r *StreamResampler) Process(dst, src []float64) []float64 {
+	r.buf = append(r.buf, src...)
+	r.in += int64(len(src))
+	return r.drain(dst)
+}
+
+// Flush pads the stream with kernel-width zeros and appends the remaining
+// computable output to dst. The resampler still accepts input afterwards,
+// but the padding zeros will have entered the history, so Flush is meant
+// for end of stream.
+func (r *StreamResampler) Flush(dst []float64) []float64 {
+	for i := 0; i < resampleHalfWidth; i++ {
+		r.buf = append(r.buf, 0)
+	}
+	// Padding H zeros makes every read position within the real input
+	// computable, and none beyond it: total output stays N/step ± 1.
+	return r.drain(dst)
+}
+
+// InputCount and OutputCount report the cumulative stream totals.
+func (r *StreamResampler) InputCount() int64  { return r.in }
+func (r *StreamResampler) OutputCount() int64 { return r.out }
+
+// drain produces every output sample whose kernel support is fully
+// buffered, then compacts the buffer so it stays bounded.
+func (r *StreamResampler) drain(dst []float64) []float64 {
+	n := len(r.buf)
+	// Producing at pos needs taps up to floor(pos)+H, so the last fully
+	// supported position satisfies floor(pos)+H <= n-1.
+	for int(math.Floor(r.pos))+resampleHalfWidth <= n-1 {
+		dst = append(dst, interpAt(r.buf, r.pos))
+		r.pos += r.step
+		r.out++
+	}
+	// Keep H-1 history samples before the read position; drop the rest.
+	drop := int(math.Floor(r.pos)) - (resampleHalfWidth - 1)
+	if drop > 0 {
+		if drop > n {
+			drop = n
+		}
+		copy(r.buf, r.buf[drop:])
+		r.buf = r.buf[:n-drop]
+		r.pos -= float64(drop)
+	}
+	return dst
+}

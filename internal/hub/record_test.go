@@ -103,8 +103,8 @@ func TestSessionStatsLines(t *testing.T) {
 	}
 	trace.SortSessionStats(lines)
 	for i, st := range lines {
-		want := fmt.Sprintf("session %d frames=%d measurements=%d actions=%d pending=%d records=%d",
-			st.ID, st.Frames, st.Measurements, st.Actions, st.Pending, st.Records)
+		want := fmt.Sprintf("session %d frames=%d measurements=%d actions=%d pending=%d records=%d resamples=%d",
+			st.ID, st.Frames, st.Measurements, st.Actions, st.Pending, st.Records, st.Resamples)
 		if st.String() != want {
 			t.Fatalf("line %d: %q != %q", i, st.String(), want)
 		}

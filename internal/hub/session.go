@@ -22,9 +22,11 @@ type SessionResult struct {
 	// ID is the wire session identifier.
 	ID uint32
 	// Measurements / Actions count estimator outputs and compensator
-	// corrections over the session's lifetime.
+	// corrections over the session's lifetime; Resamples counts drift
+	// rate retunes.
 	Measurements int
 	Actions      int
+	Resamples    int
 	// PostActionMeasurements counts measurements taken after the first
 	// correction was applied (a convergence proof needs at least one).
 	PostActionMeasurements int
@@ -258,6 +260,7 @@ func (s *session) stat() trace.SessionStat {
 		Actions:      s.res.Actions,
 		Pending:      s.pipe.PendingMarkers(),
 		Records:      s.pipe.RecordCount(),
+		Resamples:    s.res.Resamples,
 	}
 }
 
@@ -320,4 +323,14 @@ func (s *session) CompensationAction(now float64, a ekho.Action) {
 	}
 	s.hub.logf("hub: session %d: compensation %v stream insert=%d skip=%d frames",
 		s.id, a.Stream, a.InsertFrames, a.SkipFrames)
+}
+
+// ResampleApplied implements serverpipe.EventSink.
+func (s *session) ResampleApplied(now float64, r ekho.Resample) {
+	if s.rec != nil {
+		s.rec.ResampleApplied(now, r)
+	}
+	s.res.Resamples++
+	s.hub.stats.resamples.Add(1)
+	s.hub.logf("hub: session %d: resample %v stream rate %+.1f ppm", s.id, r.Stream, r.PPM)
 }

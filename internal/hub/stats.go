@@ -30,6 +30,7 @@ type counters struct {
 	sendErrs     atomic.Int64
 	measurements atomic.Int64
 	actions      atomic.Int64
+	resamples    atomic.Int64
 	// shed counts data-plane packets dropped because their shard's queue
 	// was full (overload shedding); ctrlDropped counts control packets
 	// dropped because a shard's control lane overflowed (pathological).
@@ -143,10 +144,12 @@ type Snapshot struct {
 	// dropped because a shard's control lane overflowed.
 	Shed        int64
 	CtrlDropped int64
-	// Measurements / Actions aggregate the per-session estimator and
-	// compensator activity across all sessions ever hosted.
+	// Measurements / Actions / Resamples aggregate the per-session
+	// estimator and compensator activity across all sessions ever hosted
+	// (Resamples counts drift-regime rate retunes).
 	Measurements int64
 	Actions      int64
+	Resamples    int64
 }
 
 // Stats returns a consistent-enough snapshot of the hub counters (each
@@ -168,6 +171,7 @@ func (h *Hub) Stats() Snapshot {
 		CtrlDropped:    c.ctrlDropped.Load(),
 		Measurements:   c.measurements.Load(),
 		Actions:        c.actions.Load(),
+		Resamples:      c.resamples.Load(),
 	}
 }
 
@@ -201,7 +205,7 @@ func (h *Hub) SessionStats() []trace.SessionStat {
 // String formats the snapshot as a one-line status report.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"sessions active=%d peak=%d admitted=%d rejected=%d reaped=%d ended=%d | packets in=%d out=%d strays=%d senderrs=%d shed=%d | measurements=%d actions=%d",
+		"sessions active=%d peak=%d admitted=%d rejected=%d reaped=%d ended=%d | packets in=%d out=%d strays=%d senderrs=%d shed=%d | measurements=%d actions=%d resamples=%d",
 		s.ActiveSessions, s.PeakSessions, s.Admitted, s.Rejected, s.Reaped, s.Ended,
-		s.PacketsIn, s.PacketsOut, s.Strays, s.SendErrors, s.Shed, s.Measurements, s.Actions)
+		s.PacketsIn, s.PacketsOut, s.Strays, s.SendErrors, s.Shed, s.Measurements, s.Actions, s.Resamples)
 }

@@ -29,6 +29,10 @@ type EventSink interface {
 	// CompensationAction fires when the compensator issues a correction
 	// (the pipeline has already routed it to the owning stream).
 	CompensationAction(now float64, a compensator.Action)
+	// ResampleApplied fires when the drift regime retunes a stream's
+	// content-consumption rate (the pipeline has already applied it).
+	// Never fires unless Config.Drift.Enabled.
+	ResampleApplied(now float64, r compensator.Resample)
 }
 
 // NopSink is an EventSink that ignores everything; embed it to implement
@@ -52,3 +56,6 @@ func (NopSink) ISDMeasurement(float64, estimator.Measurement) {}
 
 // CompensationAction implements EventSink.
 func (NopSink) CompensationAction(float64, compensator.Action) {}
+
+// ResampleApplied implements EventSink.
+func (NopSink) ResampleApplied(float64, compensator.Resample) {}

@@ -51,6 +51,15 @@ type Config struct {
 	// Compensator tunes the correction loop (zero value = paper
 	// defaults: 5 ms hysteresis, 6 s settling).
 	Compensator compensator.Config
+	// Drift tunes the micro-resampling regime for clock-drift (SRO)
+	// scenarios. Disabled by default: with Drift.Enabled false the
+	// pipeline is structurally identical to the level-only loop and its
+	// behavior stays bit-exact with pre-drift sessions.
+	Drift compensator.DriftConfig
+	// DriftTracker tunes the sliding-window slope fit feeding the drift
+	// regime (zero value = estimator defaults; ignored unless
+	// Drift.Enabled).
+	DriftTracker estimator.DriftConfig
 	// Now is the pluggable content-time clock used for compensator
 	// settling and event timestamps. Nil uses the built-in clock: the
 	// count of produced screen frames times 20 ms, which holds whether
@@ -118,6 +127,19 @@ type Pipeline struct {
 	comp      *compensator.Compensator
 	dec       *codec.Decoder
 
+	// Drift regime (nil unless Config.Drift.Enabled): tracker fits the
+	// ISD slope across measurements, drift wraps comp with the
+	// micro-resampling policy.
+	tracker *estimator.DriftTracker
+	drift   *compensator.DriftLoop
+	// lastDetection is the newest measurement detection time seen;
+	// trackerBlankUntil suppresses tracker feeding for measurements
+	// detected before the latest correction propagated (Drift.BlankSec,
+	// on the detection-time axis — late-delivered pre-correction
+	// measurements are excluded no matter when they arrive).
+	lastDetection     float64
+	trackerBlankUntil float64
+
 	ledger MarkerLedger
 	book   RecordBook
 	seqr   ChatSequencer
@@ -154,6 +176,10 @@ func New(cfg Config) *Pipeline {
 	}
 	if cfg.InjectorLogLimit > 0 {
 		p.injector.SetLogLimit(cfg.InjectorLogLimit)
+	}
+	if cfg.Drift.Enabled {
+		p.tracker = estimator.NewDriftTracker(cfg.DriftTracker)
+		p.drift = compensator.NewDriftLoop(cfg.Drift, p.comp)
 	}
 	if cfg.InterpolatedInsert {
 		p.screen.EnableInterpolation()
@@ -283,9 +309,40 @@ func (p *Pipeline) feedChat(samples []float64, startLocal float64) {
 	now := p.Now()
 	for _, m := range ms {
 		p.sink.ISDMeasurement(now, m)
-		if act := p.comp.Offer(now, m.ISDSeconds); act != nil {
+		if p.drift == nil {
+			if act := p.comp.Offer(now, m.ISDSeconds); act != nil {
+				p.sink.CompensationAction(now, *act)
+				p.route(*act)
+			}
+			continue
+		}
+		// Drift regime: fit the slope across measurements (keyed on the
+		// marker's detection time — carried in the measurement, so replay
+		// reconstructs the identical fit), then let the drift loop pick
+		// between a rate retune and a discrete level correction. Either
+		// correction moves the ISD trajectory, so the window restarts —
+		// and stays blanked while measurements still reflecting the
+		// pre-correction trajectory drain through the playout pipeline
+		// (those would seed the fresh window with a step that reads as
+		// enormous slope).
+		if m.DetectionTime > p.lastDetection {
+			p.lastDetection = m.DetectionTime
+		}
+		if m.DetectionTime >= p.trackerBlankUntil {
+			p.tracker.Add(m.DetectionTime, m.ISDSeconds)
+		}
+		act, rs := p.drift.Offer(now, m.ISDSeconds, p.tracker.Fit())
+		if rs != nil {
+			p.routeResample(*rs)
+			p.sink.ResampleApplied(now, *rs)
+			p.tracker.Reset()
+			p.trackerBlankUntil = p.lastDetection + p.drift.BlankSec()
+		}
+		if act != nil {
 			p.sink.CompensationAction(now, *act)
 			p.route(*act)
+			p.tracker.Reset()
+			p.trackerBlankUntil = p.lastDetection + p.drift.BlankSec()
 		}
 	}
 }
@@ -299,10 +356,26 @@ func (p *Pipeline) route(a compensator.Action) {
 	p.accessory.Apply(a)
 }
 
+// routeResample applies a rate retune to the owning stream.
+func (p *Pipeline) routeResample(r compensator.Resample) {
+	if r.Stream == compensator.ScreenStream {
+		p.screen.SetResamplePPM(r.PPM)
+		return
+	}
+	p.accessory.SetResamplePPM(r.PPM)
+}
+
 // Apply routes an externally decided compensation action (hosts with
 // their own policy, e.g. the multi-screen joint alignment, use the
 // component types directly instead).
 func (p *Pipeline) Apply(a compensator.Action) { p.route(a) }
+
+// ApplyResample routes an externally decided rate retune.
+func (p *Pipeline) ApplyResample(r compensator.Resample) { p.routeResample(r) }
+
+// ResamplePPM reports the rate currently commanded on the accessory
+// stream (0 when the drift regime never engaged).
+func (p *Pipeline) ResamplePPM() float64 { return p.accessory.ResamplePPM() }
 
 // PendingMarkers reports how many injected markers await a covering
 // playback record.

@@ -3,6 +3,7 @@ package serverpipe
 import (
 	"ekho/internal/audio"
 	"ekho/internal/compensator"
+	"ekho/internal/dsp"
 )
 
 // FrameInfo describes one produced downlink frame: its sequence number,
@@ -28,6 +29,13 @@ type Stream struct {
 	// audio (PLC-style) instead of hard silence — the §4.4 future-work
 	// enhancement.
 	interp *compensator.Interpolator
+	// Micro-resampling state (the drift regime's continuous action). The
+	// fractional path engages on the first non-zero SetResamplePPM and
+	// stays engaged; zero-drift sessions never touch it, so the integer
+	// path above remains bit-identical to the pre-drift behavior.
+	frac    bool
+	posF    float64 // fractional content position (valid when frac)
+	stepPPM float64 // commanded rate offset, ppm
 }
 
 // NewStream returns a stream over the (shared, read-only) game clip.
@@ -56,8 +64,29 @@ func (st *Stream) Apply(a compensator.Action) {
 			st.silenceDebt = 0
 		}
 		st.pos += skip
+		st.posF += float64(skip)
 	}
 }
+
+// SetResamplePPM retunes the stream's content-consumption rate: each
+// output sample advances the content position by 1 + ppm·1e-6 samples
+// (positive = continuous skip, negative = continuous stretch). The first
+// non-zero rate switches the stream onto the fractional read path
+// permanently; a commanded rate of 0 before that is a no-op, preserving
+// the integer path bit-exactly.
+func (st *Stream) SetResamplePPM(ppm float64) {
+	if !st.frac {
+		if ppm == 0 {
+			return
+		}
+		st.frac = true
+		st.posF = float64(st.pos)
+	}
+	st.stepPPM = ppm
+}
+
+// ResamplePPM reports the commanded rate offset.
+func (st *Stream) ResamplePPM() float64 { return st.stepPPM }
 
 // Next fills dst (FrameSamples long; callers reuse one buffer to keep
 // the path off the heap) with the next 20 ms frame and returns its frame
@@ -94,9 +123,23 @@ func (st *Stream) Next(dst []float64) FrameInfo {
 	}
 	fi.ContentStart = int64(st.pos)
 	fi.ContentOff = off
-	for i := off; i < audio.FrameSamples; i++ {
-		dst[i] = st.game.Samples[st.pos%st.game.Len()]
-		st.pos++
+	if st.frac {
+		// Fractional path: read the looped clip at posF through the
+		// windowed-sinc kernel, advancing by the commanded rate. The
+		// frame's content identity is the rounded start position —
+		// within one sample of truth at micro-resampling rates.
+		step := 1 + st.stepPPM*1e-6
+		fi.ContentStart = int64(st.posF + 0.5)
+		for i := off; i < audio.FrameSamples; i++ {
+			dst[i] = dsp.InterpLooped(st.game.Samples, st.posF)
+			st.posF += step
+		}
+		st.pos = int(st.posF + 0.5)
+	} else {
+		for i := off; i < audio.FrameSamples; i++ {
+			dst[i] = st.game.Samples[st.pos%st.game.Len()]
+			st.pos++
+		}
 	}
 	if st.interp != nil {
 		st.interp.Observe(dst[off:])

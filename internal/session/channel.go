@@ -1,6 +1,7 @@
 package session
 
 import (
+	"math"
 	"math/rand"
 
 	"ekho/internal/acoustic"
@@ -32,6 +33,14 @@ type airChannel struct {
 	timeline []float64
 	base     int // absolute sample index of timeline[0]
 	consumed int // absolute sample index up to which audio was captured
+
+	// Fractional-capture state (captureFrac, SRO'd controllers only).
+	// The mic biquads are stateful and sequential, so the air is filtered
+	// exactly once at the nominal integer rate into filt, and the skewed
+	// ADC reads are sinc-interpolated from that history.
+	filt     []float64
+	filtBase int  // absolute sample index of filt[0]
+	filtInit bool // filtBase anchored (first captureFrac call)
 }
 
 type airTap struct {
@@ -161,4 +170,63 @@ func (a *airChannel) capture(from, to int) []float64 {
 	}
 	a.consumed = to
 	return out
+}
+
+// captureFrac returns n microphone samples taken at fractional air
+// positions startPos, startPos+step, ... — a controller ADC whose
+// oscillator runs off-rate consumes step true-rate air samples per ADC
+// sample (step = 1/(1+sro·1e-6)). The mic coloration and ambient noise
+// are applied at the nominal integer rate exactly once (the biquads are
+// stateful and sequential), and the skewed reads are sinc-interpolated
+// from that filtered history. A session uses either capture or
+// captureFrac exclusively; mixing them would split the filter state.
+// Calls must be sequential with non-decreasing positions.
+func (a *airChannel) captureFrac(startPos, step float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	endPos := startPos + float64(n-1)*step
+	if !a.filtInit {
+		a.filtBase = int(math.Floor(startPos)) - dsp.InterpHalfWidth
+		a.filtInit = true
+	}
+	a.filterTo(int(math.Floor(endPos)) + dsp.InterpHalfWidth + 1)
+	out := make([]float64, n)
+	for i := range out {
+		pos := startPos + float64(i)*step
+		out[i] = dsp.Interp(a.filt, pos-float64(a.filtBase))
+	}
+	// Keep enough filtered history for the next call's leading kernel taps
+	// (it starts at endPos+step); drop the rest, and trim the raw air the
+	// filter frontier has moved past.
+	if cut := int(math.Floor(endPos)) - dsp.InterpHalfWidth - a.filtBase; cut > 0 {
+		a.filt = a.filt[cut:]
+		a.filtBase += cut
+	}
+	frontier := a.filtBase + len(a.filt)
+	if drop := frontier - a.base; drop > 0 {
+		if drop > len(a.timeline) {
+			drop = len(a.timeline)
+		}
+		a.timeline = a.timeline[drop:]
+		a.base += drop
+	}
+	a.consumed = frontier
+	return out
+}
+
+// filterTo advances the filtered history through absolute air sample
+// index to (exclusive), reading zeros outside the written timeline.
+func (a *airChannel) filterTo(to int) {
+	for next := a.filtBase + len(a.filt); next < to; next++ {
+		var v float64
+		if idx := next - a.base; idx >= 0 && idx < len(a.timeline) {
+			v = a.timeline[idx]
+		}
+		v = a.mic.Process(v)
+		if a.ambientLevel > 0 {
+			v += a.rng.NormFloat64() * a.ambientLevel
+		}
+		a.filt = append(a.filt, v)
+	}
 }

@@ -84,6 +84,23 @@ type Scenario struct {
 	ScreenClockOffset     float64
 	ControllerClockOffset float64
 	ControllerDriftPPM    float64
+	// ScreenSROPPM / ControllerSROPPM are the devices' sample-rate
+	// offsets in ppm: the device's DAC/ADC oscillator runs at
+	// 48000·(1+ppm·1e-6), so it consumes (and captures) samples at a
+	// skewed rate and the ISD becomes a ramp instead of a level
+	// (arXiv:2507.05399's multi-device SRO model). Playout ticks fire
+	// every frameSec/(1+ppm·1e-6); the controller's microphone captures
+	// through a fractional resampler at the same skew. A drifting
+	// controller should normally set ControllerDriftPPM to the same
+	// value: one crystal drives both the audio oscillator and the local
+	// clock.
+	ScreenSROPPM     float64
+	ControllerSROPPM float64
+	// DriftCompensation enables the server's drift regime: a sliding-
+	// window slope fit on ISD measurements plus continuous
+	// micro-resampling of the accessory stream once drift dominates.
+	// Off by default — level-only scenarios stay bit-identical.
+	DriftCompensation bool
 	// Channel is the acoustic path spec; zero value uses defaults.
 	Channel channelSpec
 	// ChatProfile encodes the uplink audio (default SWB32).
@@ -153,6 +170,19 @@ func DefaultScenario() Scenario {
 	}
 }
 
+// DriftScenario is the default scenario with a controller sample-rate
+// offset of sroPPM and the server's drift-compensation regime enabled.
+// The controller's local clock drifts at the same rate as its audio
+// oscillator — one crystal drives both — so ControllerDriftPPM tracks
+// the SRO instead of the default 25 ppm.
+func DriftScenario(sroPPM float64) Scenario {
+	sc := DefaultScenario()
+	sc.ControllerSROPPM = sroPPM
+	sc.ControllerDriftPPM = sroPPM
+	sc.DriftCompensation = true
+	return sc
+}
+
 // ISDPoint is one ground-truth ISD observation.
 type ISDPoint struct {
 	TimeSec    float64
@@ -171,13 +201,22 @@ type MeasurementRecord struct {
 	ISDSeconds float64
 }
 
+// ResampleRecord logs one micro-resampling rate retune (drift regime).
+type ResampleRecord struct {
+	TimeSec  float64
+	Resample compensator.Resample
+}
+
 // Result carries everything a session produced.
 type Result struct {
 	Trace        []ISDPoint
 	Measurements []MeasurementRecord
 	Actions      []ActionRecord
-	ScreenLoss   netsim.Stats
-	AccessLoss   netsim.Stats
+	// Resamples logs the drift regime's rate retunes (empty unless
+	// Scenario.DriftCompensation).
+	Resamples  []ResampleRecord
+	ScreenLoss netsim.Stats
+	AccessLoss netsim.Stats
 	// Haptics holds the fired rumble events and their skew to the screen
 	// (empty unless Scenario.HapticsEnabled).
 	Haptics []HapticRecord
@@ -284,6 +323,7 @@ type sim struct {
 	trace        []ISDPoint
 	measurements []MeasurementRecord
 	actions      []ActionRecord
+	resamples    []ResampleRecord
 	haptics      *hapticTracker
 }
 
@@ -299,6 +339,7 @@ func (s *sim) setup() {
 		MarkerC:            sc.MarkerC,
 		Codec:              sc.ChatProfile,
 		Compensator:        compensator.Config{SubFrame: sc.SubFrame},
+		Drift:              compensator.DriftConfig{Enabled: sc.DriftCompensation},
 		Now:                func() float64 { return float64(s.sched.Now()) },
 		Sink:               s,
 		DisableMarkers:     !sc.EkhoEnabled,
@@ -368,21 +409,27 @@ func (s *sim) setup() {
 
 func (s *sim) run() {
 	end := vclock.Time(s.sc.DurationSec)
-	tick := func(start vclock.Time, fn func()) {
+	tick := func(start vclock.Time, period float64, fn func()) {
 		var loop func()
 		loop = func() {
 			if s.sched.Now() >= end {
 				return
 			}
 			fn()
-			s.sched.After(frameSec, loop)
+			s.sched.After(period, loop)
 		}
 		s.sched.At(start, loop)
 	}
-	tick(0, s.serverProduce)
-	tick(0.011, s.screenPlayout)
-	tick(0.013, s.accessPlayout)
-	tick(0.017, s.captureMic)
+	// A device with a sample-rate offset drains its 960-sample frames in
+	// 20 ms of *its* oscillator's time: its playout/capture ticks fire
+	// every frameSec/(1+ppm·1e-6) of true time. With zero SRO the period
+	// is exactly frameSec, preserving the pre-drift schedule bit for bit.
+	screenPeriod := frameSec / (1 + s.sc.ScreenSROPPM*1e-6)
+	ctrlPeriod := frameSec / (1 + s.sc.ControllerSROPPM*1e-6)
+	tick(0, frameSec, s.serverProduce)
+	tick(0.011, screenPeriod, s.screenPlayout)
+	tick(0.013, ctrlPeriod, s.accessPlayout)
+	tick(0.017, ctrlPeriod, s.captureMic)
 	s.sched.RunUntil(end + 1)
 }
 
@@ -433,7 +480,12 @@ func unpackFrame(s []float64) (samples []float64, contentStart, contentOff int) 
 }
 
 // screenPlayout pops one frame from the screen jitter buffer and plays it
-// through the speaker into the air channel.
+// through the speaker into the air channel. A screen sample-rate offset
+// is modeled by the skewed tick period alone: each frame's start lands at
+// the drifted true time (the effect that accumulates, ~sro µs/s), while
+// the 960 samples within it are written at the nominal rate — the
+// within-frame stretch is sro·1e-6·20 ms ≈ nanoseconds, far below the
+// channel's own one-sample placement quantization.
 func (s *sim) screenPlayout() {
 	raw, ev := s.screenBuf.Pop()
 	if ev == jitterbuf.Waiting {
@@ -470,7 +522,13 @@ func (s *sim) accessPlayout() {
 		return
 	}
 	samples, content, off := unpackFrame(raw)
-	playTrue := float64(s.sched.Now()) + s.sc.ControllerDeviceLatency + float64(off)/audio.SampleRate
+	offSec := float64(off) / audio.SampleRate
+	if sro := s.sc.ControllerSROPPM; sro != 0 {
+		// The headset DAC drains samples at 48000·(1+sro·1e-6): reaching
+		// in-frame offset off takes off/(48000·(1+sro·1e-6)) of true time.
+		offSec = float64(off) / (audio.SampleRate * (1 + sro*1e-6))
+	}
+	playTrue := float64(s.sched.Now()) + s.sc.ControllerDeviceLatency + offSec
 	if content >= 0 {
 		n := len(samples) - off
 		rec := contentRecord{contentStart: content, n: n, time: playTrue}
@@ -484,20 +542,37 @@ func (s *sim) accessPlayout() {
 	}
 }
 
-// captureMic reads 20 ms from the air channel, encodes it and uplinks it.
+// captureMic reads 20 ms of ADC time from the air channel, encodes it and
+// uplinks it. With a controller sample-rate offset, the ADC consumes
+// 1/(1+sro·1e-6) true-rate air samples per ADC sample, so the frame is
+// read through the channel's fractional-capture path; the zero-SRO path
+// is the original integer capture, bit for bit.
 func (s *sim) captureMic() {
 	now := float64(s.sched.Now())
-	to := int(math.Round(now * audio.SampleRate))
-	from := to - audio.FrameSamples
-	if from < 0 {
-		return
+	var samples []float64
+	var adcTrue float64
+	if sro := s.sc.ControllerSROPPM; sro != 0 {
+		step := 1 / (1 + sro*1e-6)
+		endPos := now * audio.SampleRate
+		startPos := endPos - float64(audio.FrameSamples)*step
+		if startPos < 0 {
+			return
+		}
+		samples = s.air.captureFrac(startPos, step, audio.FrameSamples)
+		adcTrue = startPos / audio.SampleRate
+	} else {
+		to := int(math.Round(now * audio.SampleRate))
+		from := to - audio.FrameSamples
+		if from < 0 {
+			return
+		}
+		samples = s.air.capture(from, to)
+		adcTrue = float64(from) / audio.SampleRate
 	}
-	samples := s.air.capture(from, to)
 	pkt, err := s.chatEnc.Encode(samples)
 	if err != nil {
 		panic("session: chat encode: " + err.Error())
 	}
-	adcTrue := float64(from) / audio.SampleRate
 	adcLocal := float64(s.accessClk.StampADC(vclock.Time(adcTrue)))
 	cp := chatPacket{seq: s.chatSeq, encoded: pkt, adcLocal: adcLocal, playbackLog: s.pendLog}
 	s.chatSeq++
@@ -572,6 +647,14 @@ func (s *sim) CompensationAction(now float64, a compensator.Action) {
 	}
 }
 
+// ResampleApplied implements serverpipe.EventSink.
+func (s *sim) ResampleApplied(now float64, r compensator.Resample) {
+	s.resamples = append(s.resamples, ResampleRecord{TimeSec: now, Resample: r})
+	if s.rec != nil {
+		s.rec.ResampleApplied(now, r)
+	}
+}
+
 // matchTrace emits a ground-truth ISD point when a newly heard screen
 // record overlaps an already-played accessory record.
 func (s *sim) matchTrace(h contentRecord, played []contentRecord) {
@@ -635,6 +718,7 @@ func (s *sim) finish() *Result {
 		Trace:        s.trace,
 		Measurements: s.measurements,
 		Actions:      s.actions,
+		Resamples:    s.resamples,
 		ScreenLoss:   s.screenDown.Stats(),
 		AccessLoss:   s.accessDown.Stats(),
 	}

@@ -83,6 +83,9 @@ const (
 	RecISD
 	RecAction
 	RecProfile
+	// RecResample carries a drift-regime rate retune (added within
+	// version 1: old readers skip it by its length prefix).
+	RecResample
 )
 
 // Stream identifiers for RecMediaOut.
@@ -121,6 +124,13 @@ type Header struct {
 	MutedScreen        bool
 	ChatStartsAtZero   bool
 	MutedMarkerAmpDB   float64
+	// Drift is the micro-resampling regime tuning and DriftTracker the
+	// slope-fit tuning (serverpipe.Config.Drift / .DriftTracker). These
+	// fields sit at the payload tail, appended within version 1: readers
+	// accept old traces without them (all-zero = drift disabled, which is
+	// what every pre-drift session ran).
+	Drift        compensator.DriftConfig
+	DriftTracker estimator.DriftConfig
 }
 
 // HeaderFor captures a session's effective pipeline configuration. The
@@ -143,6 +153,8 @@ func HeaderFor(sessionID uint32, clipIndex int, seed int64, cfg serverpipe.Confi
 		MutedScreen:        cfg.MutedScreen,
 		ChatStartsAtZero:   cfg.ChatStartsAtZero,
 		MutedMarkerAmpDB:   cfg.MutedMarkerAmpDB,
+		Drift:              cfg.Drift,
+		DriftTracker:       cfg.DriftTracker,
 	}
 }
 
@@ -163,6 +175,8 @@ func (h Header) PipelineConfig() serverpipe.Config {
 		MutedScreen:        h.MutedScreen,
 		ChatStartsAtZero:   h.ChatStartsAtZero,
 		MutedMarkerAmpDB:   h.MutedMarkerAmpDB,
+		Drift:              h.Drift,
+		DriftTracker:       h.DriftTracker,
 	}
 }
 
@@ -206,6 +220,8 @@ type Rec struct {
 	M estimator.Measurement
 	// Action is a compensation action (RecAction).
 	Action compensator.Action
+	// Resample is a drift-regime rate retune (RecResample).
+	Resample compensator.Resample
 }
 
 // String renders a record for divergence reports.
@@ -235,6 +251,8 @@ func (r Rec) String() string {
 			r.Action.InsertFrames, r.Action.InsertSamples, r.Action.SkipFrames, r.Action.SkipSamples)
 	case RecProfile:
 		return "profile"
+	case RecResample:
+		return fmt.Sprintf("resample now=%.6f stream=%d ppm=%.3f", r.Now, r.Resample.Stream, r.Resample.PPM)
 	}
 	return fmt.Sprintf("unknown(%d)", r.Type)
 }
@@ -247,7 +265,7 @@ func (r Rec) IsInput() bool {
 // IsEvent reports whether the record is a verified pipeline output.
 func (r Rec) IsEvent() bool {
 	switch r.Type {
-	case RecMarkerInjected, RecMarkerMatched, RecMarkerExpired, RecChatConcealed, RecISD, RecAction:
+	case RecMarkerInjected, RecMarkerMatched, RecMarkerExpired, RecChatConcealed, RecISD, RecAction, RecResample:
 		return true
 	}
 	return false
@@ -296,6 +314,19 @@ func appendHeader(b []byte, h Header) []byte {
 	b = appendBool(b, h.MutedScreen)
 	b = appendBool(b, h.ChatStartsAtZero)
 	b = appendF64(b, h.MutedMarkerAmpDB)
+	// Drift-regime tail (version-1 growth; readers accept its absence).
+	b = appendBool(b, h.Drift.Enabled)
+	b = appendF64(b, h.Drift.EngagePPM)
+	b = appendF64(b, h.Drift.ReleasePPM)
+	b = appendF64(b, h.Drift.MaxPPM)
+	b = appendF64(b, h.Drift.MaxStepPPM)
+	b = appendF64(b, h.Drift.SettleSec)
+	b = appendF64(b, h.Drift.TStat)
+	b = appendF64(b, h.Drift.BlankSec)
+	b = appendU32(b, uint32(int32(h.DriftTracker.Window)))
+	b = appendF64(b, h.DriftTracker.SpanSec)
+	b = appendU32(b, uint32(int32(h.DriftTracker.MinPoints)))
+	b = appendF64(b, h.DriftTracker.MinSpanSec)
 	return b
 }
 
@@ -422,6 +453,24 @@ func decodeHeader(payload []byte) (Header, error) {
 	h.MutedScreen = d.boolean()
 	h.ChatStartsAtZero = d.boolean()
 	h.MutedMarkerAmpDB = d.f64()
+	// The drift tail was appended within version 1: a pre-drift trace
+	// ends here, and its absence means drift-disabled (the only behavior
+	// those sessions could have run). The guard must not set the decoder
+	// error — a short payload is valid, a *partial* tail is not.
+	if d.err == nil && d.off < len(d.b) {
+		h.Drift.Enabled = d.boolean()
+		h.Drift.EngagePPM = d.f64()
+		h.Drift.ReleasePPM = d.f64()
+		h.Drift.MaxPPM = d.f64()
+		h.Drift.MaxStepPPM = d.f64()
+		h.Drift.SettleSec = d.f64()
+		h.Drift.TStat = d.f64()
+		h.Drift.BlankSec = d.f64()
+		h.DriftTracker.Window = d.i32()
+		h.DriftTracker.SpanSec = d.f64()
+		h.DriftTracker.MinPoints = d.i32()
+		h.DriftTracker.MinSpanSec = d.f64()
+	}
 	return h, d.err
 }
 
@@ -554,6 +603,10 @@ func (rd *Reader) Next() (Rec, error) {
 			rec.Action.SkipFrames = d.i32()
 			rec.Action.InsertSamples = d.i32()
 			rec.Action.SkipSamples = d.i32()
+		case RecResample:
+			rec.Now = d.f64()
+			rec.Resample.Stream = compensator.Stream(d.i32())
+			rec.Resample.PPM = d.f64()
 		case RecProfile:
 			// Decoded by ReadProviderProfiles; surfaced raw here so Replay
 			// can skip it.

@@ -36,6 +36,13 @@ func testHeader() Header {
 		MutedScreen:        true,
 		ChatStartsAtZero:   true,
 		MutedMarkerAmpDB:   9.5,
+		Drift: compensator.DriftConfig{
+			Enabled: true, EngagePPM: 25, ReleasePPM: 8, MaxPPM: 350,
+			MaxStepPPM: 55, SettleSec: 6.5, TStat: 2.25, BlankSec: 3.25,
+		},
+		DriftTracker: estimator.DriftConfig{
+			Window: 48, SpanSec: 25, MinPoints: 5, MinSpanSec: 3.5,
+		},
 	}
 }
 
@@ -43,7 +50,7 @@ func testHeader() Header {
 // the reader should produce for it.
 func randomTap(rng *rand.Rand, r *Recorder) Rec {
 	now := rng.Float64() * 300
-	switch rng.Intn(10) {
+	switch rng.Intn(11) {
 	case 0:
 		r.Tick(now)
 		return Rec{Type: RecTick, Now: now}
@@ -99,6 +106,13 @@ func randomTap(rng *rand.Rand, r *Recorder) Rec {
 		}
 		r.ISDMeasurement(now, m)
 		return Rec{Type: RecISD, Now: now, M: m}
+	case 9:
+		rs := compensator.Resample{
+			Stream: compensator.Stream(rng.Intn(2)),
+			PPM:    rng.NormFloat64() * 200,
+		}
+		r.ResampleApplied(now, rs)
+		return Rec{Type: RecResample, Now: now, Resample: rs}
 	default:
 		a := compensator.Action{
 			Stream:        compensator.Stream(rng.Intn(2)),
@@ -117,7 +131,7 @@ func sameRec(a, b Rec) bool {
 		a.LocalTime == b.LocalTime && a.N == b.N && a.Seq == b.Seq &&
 		a.ADCLocal == b.ADCLocal && bytes.Equal(a.Encoded, b.Encoded) &&
 		a.Stream == b.Stream && a.ContentOff == b.ContentOff && a.Size == b.Size &&
-		a.M == b.M && a.Action == b.Action
+		a.M == b.M && a.Action == b.Action && a.Resample == b.Resample
 }
 
 // TestRoundTrip is the codec property test: random tap sequences must

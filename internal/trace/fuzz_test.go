@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ekho/internal/compensator"
+	"ekho/internal/estimator"
+)
+
+// FuzzReaderNext drives the trace decoder over arbitrary bytes: whatever
+// the input, Next must terminate with a record or an error, never panic
+// or loop. The seed corpus includes a genuine recorded session (header,
+// inputs, every event type including the resample record) plus truncated
+// and corrupted variants of it, so the fuzzer starts from structurally
+// interesting inputs.
+func FuzzReaderNext(f *testing.F) {
+	var buf bytes.Buffer
+	rec, err := NewRecorder(&buf, testHeader())
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec.Tick(0.02)
+	rec.MarkerInjected(4800)
+	rec.MarkerMatched(4800, 1.25)
+	rec.MarkerExpired(9600)
+	rec.ChatGapConcealed(7, 2.5)
+	rec.OfferChat(0.06, 3, 0.043, []byte{1, 2, 3, 4})
+	rec.ISDMeasurement(0.08, estimator.Measurement{ISDSeconds: 0.012, DetectionTime: 0.05, Strength: 20})
+	rec.CompensationAction(0.1, compensator.Action{Stream: compensator.AccessoryStream, InsertFrames: 1})
+	rec.ResampleApplied(0.12, compensator.Resample{Stream: compensator.AccessoryStream, PPM: -97.5})
+	if err := rec.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:7])
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rd, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// A record is at least a few bytes, so len(b) iterations bound any
+		// well-formed log; more means the reader failed to make progress.
+		for i := 0; i <= len(b); i++ {
+			if _, err := rd.Next(); err != nil {
+				return
+			}
+		}
+		t.Fatalf("reader produced more records than input bytes (%d)", len(b))
+	})
+}

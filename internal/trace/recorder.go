@@ -175,6 +175,14 @@ func (r *Recorder) CompensationAction(now float64, a compensator.Action) {
 	r.emit(RecAction, b)
 }
 
+// ResampleApplied implements serverpipe.EventSink.
+func (r *Recorder) ResampleApplied(now float64, rs compensator.Resample) {
+	b := appendF64(r.begin(), now)
+	b = appendU32(b, uint32(int32(rs.Stream)))
+	b = appendF64(b, rs.PPM)
+	r.emit(RecResample, b)
+}
+
 // SessionStat is the stable per-session status line shared by every
 // surface that reports on a session — the live server's SIGHUP dump, the
 // replayer's final report, tests. One line per session, fixed field
@@ -192,14 +200,17 @@ type SessionStat struct {
 	// Pending / Records are the marker-ledger and record-book sizes.
 	Pending int
 	Records int
+	// Resamples counts drift-regime rate retunes (tail growth: 0 for
+	// every session without the drift regime).
+	Resamples int
 }
 
 // String renders the stable one-line format:
 //
-//	session <id> frames=<n> measurements=<n> actions=<n> pending=<n> records=<n>
+//	session <id> frames=<n> measurements=<n> actions=<n> pending=<n> records=<n> resamples=<n>
 func (s SessionStat) String() string {
-	return fmt.Sprintf("session %d frames=%d measurements=%d actions=%d pending=%d records=%d",
-		s.ID, s.Frames, s.Measurements, s.Actions, s.Pending, s.Records)
+	return fmt.Sprintf("session %d frames=%d measurements=%d actions=%d pending=%d records=%d resamples=%d",
+		s.ID, s.Frames, s.Measurements, s.Actions, s.Pending, s.Records, s.Resamples)
 }
 
 // SortSessionStats orders stats by session ID so multi-session dumps are

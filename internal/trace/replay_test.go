@@ -70,6 +70,57 @@ func TestReplayEquivalenceProviders(t *testing.T) {
 	}
 }
 
+// TestReplayEquivalenceDrift extends the determinism gate to the drift
+// regime: a recorded session with a +100 ppm controller sample-rate
+// offset and drift compensation enabled must replay bit-identically,
+// including the resample-retune sequence (the new record type).
+func TestReplayEquivalenceDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.ektrace")
+	sc := session.DriftScenario(100)
+	sc.DurationSec = 60
+	sc.RecordPath = path
+	res := session.Run(sc)
+	if len(res.Resamples) == 0 {
+		t.Fatal("live session never retuned: drift regime not exercised")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := trace.Replay(f)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rep.OK() {
+		for _, d := range rep.Divergences {
+			t.Errorf("divergence %s", d)
+		}
+		t.Fatalf("replay diverged %d times", rep.DivergenceCount)
+	}
+	if !rep.Header.Drift.Enabled {
+		t.Fatal("recorded header lost Drift.Enabled")
+	}
+	// Bit-identical resample sequence vs the live session's sink log.
+	if len(rep.Resamples) != len(res.Resamples) {
+		t.Fatalf("replay saw %d resamples, live saw %d", len(rep.Resamples), len(res.Resamples))
+	}
+	for i, r := range rep.Resamples {
+		if r != res.Resamples[i].Resample {
+			t.Fatalf("resample %d: replay %+v, live %+v", i, r, res.Resamples[i].Resample)
+		}
+	}
+	if len(rep.ISDs) != len(res.Measurements) {
+		t.Fatalf("replay saw %d measurements, live saw %d", len(rep.ISDs), len(res.Measurements))
+	}
+	for i, isd := range rep.ISDs {
+		if isd != res.Measurements[i].ISDSeconds {
+			t.Fatalf("measurement %d: replay %v, live %v", i, isd, res.Measurements[i].ISDSeconds)
+		}
+	}
+}
+
 // TestReplayTwiceIdentical replays the same trace twice and demands the
 // two reports agree — replay itself must be deterministic.
 func TestReplayTwiceIdentical(t *testing.T) {

@@ -51,10 +51,12 @@ type ReplayReport struct {
 	// MediaOut counts outbound-packet records checked against the
 	// replayed streams' frame bookkeeping.
 	MediaOut int
-	// ISDs / Actions are the replayed measurement and action sequences
-	// (the bit-identical artifacts the equivalence tests compare).
-	ISDs    []float64
-	Actions []compensator.Action
+	// ISDs / Actions / Resamples are the replayed measurement, action and
+	// rate-retune sequences (the bit-identical artifacts the equivalence
+	// tests compare).
+	ISDs      []float64
+	Actions   []compensator.Action
+	Resamples []compensator.Resample
 	// DivergenceCount is the total number of mismatches; Divergences
 	// stores the first MaxDivergences of them.
 	DivergenceCount int64
@@ -104,6 +106,9 @@ func (s *replaySink) ISDMeasurement(now float64, m estimator.Measurement) {
 func (s *replaySink) CompensationAction(now float64, a compensator.Action) {
 	s.push(Rec{Type: RecAction, Now: now, Action: a})
 }
+func (s *replaySink) ResampleApplied(now float64, r compensator.Resample) {
+	s.push(Rec{Type: RecResample, Now: now, Resample: r})
+}
 
 // sameEvent compares a recorded event with a replayed one bit for bit
 // (float fields must be exactly equal: replay runs the same code on the
@@ -123,6 +128,8 @@ func sameEvent(want, got Rec) bool {
 		return want.Now == got.Now && want.M == got.M
 	case RecAction:
 		return want.Now == got.Now && want.Action == got.Action
+	case RecResample:
+		return want.Now == got.Now && want.Resample == got.Resample
 	}
 	return false
 }
@@ -222,6 +229,9 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 			if rec.Type == RecAction {
 				rep.Actions = append(rep.Actions, rec.Action)
 			}
+			if rec.Type == RecResample {
+				rep.Resamples = append(rep.Resamples, rec.Resample)
+			}
 			if len(sink.queue) == 0 {
 				diverge(rec.String(), "")
 				continue
@@ -259,6 +269,7 @@ func Replay(r io.Reader) (*ReplayReport, error) {
 		Actions:      len(rep.Actions),
 		Pending:      pipe.PendingMarkers(),
 		Records:      pipe.RecordCount(),
+		Resamples:    len(rep.Resamples),
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
