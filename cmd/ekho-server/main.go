@@ -56,6 +56,7 @@ func main() {
 	clip := flag.Int("clip", 0, "corpus clip index (0-29)")
 	record := flag.String("record", "", "capture each session to <dir>/session-<id>.ektrace for ekho-replay (empty = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	detector := flag.String("detector", "two-stage", "marker detector pipeline: two-stage or full-rate")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	if *capacity < 1 {
@@ -90,12 +91,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ekho-server:", err)
 		os.Exit(1)
 	}
+	det, ok := ekho.ParseDetectorMode(*detector)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ekho-server: unknown -detector %q (want two-stage or full-rate)\n", *detector)
+		os.Exit(2)
+	}
+
 	h := hub.New(hub.Config{
 		Capacity:    *capacity,
 		Shards:      *shards,
 		IdleTimeout: *idle,
 		MarkerC:     *markerC,
 		Clip:        *clip,
+		Detector:    det,
 		RecordDir:   *record,
 		Logf:        log.Printf,
 		OnSessionEnd: func(id uint32, r hub.SessionResult) {

@@ -1,0 +1,215 @@
+package dsp
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// ComplexCorrelator is the complex-signal counterpart of MarkerCorrelator:
+// streaming cross-correlation against a fixed complex template using
+// overlap-save with a cached conjugate template spectrum,
+//
+//	C[t] = Σ_i seg[t+i] · conj(w[i])   for t = 0 .. Step()-1.
+//
+// The band-decimated marker detector uses it on the heterodyned, decimated
+// mic stream, where the signal is genuinely complex so the real-input
+// packing trick does not apply — but the decimated template is ~D× shorter,
+// which is where the speedup lives.
+type ComplexCorrelator struct {
+	n    int          // FFT size
+	m    int          // template length
+	p    *Plan4       // shared transform plan (radix-4: see Plan4)
+	wfft []complex128 // conj(FFT(template))/n, cached (possibly shared)
+	x    []complex128 // forward-spectrum scratch
+	y    []complex128 // inverse-output scratch (lent out by Correlate)
+}
+
+// NewComplexCorrelator prepares a correlator for the template with a
+// private spectrum. fftSize must be a power of two greater than the
+// template length; Step() = fftSize − len(template) + 1 lags per call.
+func NewComplexCorrelator(template []complex128, fftSize int) *ComplexCorrelator {
+	if fftSize < NextPow2(len(template)+1) {
+		fftSize = NextPow2(2 * len(template))
+	}
+	if fftSize < 2 {
+		fftSize = 2
+	}
+	return &ComplexCorrelator{
+		n:    fftSize,
+		m:    len(template),
+		p:    Plan4For(fftSize),
+		wfft: conjSpectrumComplex(template, fftSize),
+		x:    make([]complex128, fftSize),
+		y:    make([]complex128, fftSize),
+	}
+}
+
+// NewComplexCorrelatorShared is NewComplexCorrelator with the conjugate
+// template spectrum served from the package-level cache under tag (see
+// NewMarkerCorrelatorShared for the sharing contract).
+func NewComplexCorrelatorShared(template []complex128, fftSize int, tag uint64) *ComplexCorrelator {
+	if fftSize < NextPow2(len(template)+1) {
+		fftSize = NextPow2(2 * len(template))
+	}
+	if fftSize < 2 {
+		fftSize = 2
+	}
+	n := fftSize
+	return &ComplexCorrelator{
+		n: n,
+		m: len(template),
+		p: Plan4For(n),
+		wfft: sharedSpectrumKind(tag, 1, n, checksumComplex(template), func() []complex128 {
+			return conjSpectrumComplex(template, n)
+		}),
+		x: make([]complex128, n),
+		y: make([]complex128, n),
+	}
+}
+
+func conjSpectrumComplex(template []complex128, fftSize int) []complex128 {
+	w := make([]complex128, fftSize)
+	copy(w, template)
+	Plan4For(fftSize).Forward(w)
+	// The overlap-save round trip needs a 1/n scale; folding it into the
+	// cached spectrum makes the per-block inverse output directly usable.
+	s := 1 / float64(fftSize)
+	for i, v := range w {
+		w[i] = complex(real(v)*s, -imag(v)*s)
+	}
+	return w
+}
+
+// Step returns the number of correlation lags produced per Correlate call.
+func (c *ComplexCorrelator) Step() int { return c.n - c.m + 1 }
+
+// SegmentLen returns the required input length per Correlate call (the
+// trailing len(template)−1 samples overlap the next call's head).
+func (c *ComplexCorrelator) SegmentLen() int { return c.n }
+
+// CorrelateInto computes the correlation of seg (exactly SegmentLen()
+// samples) into dst, grown to Step() reusing capacity. With a reused dst
+// the steady state allocates nothing.
+func (c *ComplexCorrelator) CorrelateInto(dst, seg []complex128) []complex128 {
+	lags := c.Correlate(seg)
+	dst = growComplex(dst, len(lags))
+	copy(dst, lags)
+	return dst
+}
+
+// Correlate computes the correlation of seg (exactly SegmentLen() samples)
+// and lends the Step() lags from internal scratch: the result is valid
+// until the next call on this correlator, sparing the hot path a copy.
+// The template spectrum carries the 1/n round-trip scale (see
+// conjSpectrumComplex), and both transforms run through Plan4's fused
+// gather entry points, so the whole block is three passes of transform
+// butterflies and nothing else.
+func (c *ComplexCorrelator) Correlate(seg []complex128) []complex128 {
+	CheckLen("overlap-save segment", len(seg), c.n)
+	c.p.ForwardFrom(c.x, seg)
+	c.p.InverseFromProduct(c.y, c.x, c.wfft)
+	return c.y[:c.Step()]
+}
+
+// CrossCorrelateComplex computes C[t] = Σ_i x[t+i]·conj(w[i]) for
+// t = 0..len(x)-len(w) directly. The streaming detector only uses it for
+// the Flush tail (lags short of one overlap-save block); sized work goes
+// through ComplexCorrelator.
+func CrossCorrelateComplex(x, w []complex128) []complex128 {
+	n := len(x) - len(w) + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	for t := 0; t < n; t++ {
+		var sr, si float64
+		seg := x[t : t+len(w)]
+		for i, wv := range w {
+			v := seg[i]
+			// v · conj(wv)
+			sr += real(v)*real(wv) + imag(v)*imag(wv)
+			si += imag(v)*real(wv) - real(v)*imag(wv)
+		}
+		out[t] = complex(sr, si)
+	}
+	return out
+}
+
+// Shared template-spectrum cache.
+//
+// Every hub session correlates against the same marker sequence, but each
+// session used to transform and store its own conjugate template spectrum —
+// 1 MB per session at the full-rate correlator's 131072-point FFT. The
+// spectra depend only on (template, FFT size), so they are cached at
+// package level like the transform plans and shared across sessions.
+//
+// The cache key is a caller-supplied tag (Ekho uses the PN sequence seed)
+// plus the FFT size; a checksum of the template contents guards against
+// tag collisions — on mismatch the caller silently gets a private
+// spectrum, so a colliding tag costs memory, never correctness.
+
+type templateSpecKey struct {
+	tag  uint64
+	kind uint8 // 0 = real half-spectrum, 1 = complex full-spectrum
+	n    int   // FFT size
+}
+
+type templateSpecEntry struct {
+	sum  uint64
+	spec []complex128 // immutable after publication
+}
+
+var templateSpecCache sync.Map // templateSpecKey -> *templateSpecEntry
+
+// ChecksumFloats hashes a float slice's exact bit contents (FNV-1a); the
+// template caches here and in the estimator use it to verify tag matches.
+func ChecksumFloats(x []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range x {
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func checksumComplex(x []complex128) uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	for _, v := range x {
+		rb, ib := math.Float64bits(real(v)), math.Float64bits(imag(v))
+		for i := 0; i < 8; i++ {
+			b[i] = byte(rb >> (8 * i))
+			b[8+i] = byte(ib >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// sharedSpectrumKind returns the cached spectrum for (tag, kind, n) when
+// its checksum matches sum, computing and publishing it on first use. A
+// checksum mismatch (two different templates under one tag) falls back to
+// a private computation.
+func sharedSpectrumKind(tag uint64, kind uint8, n int, sum uint64, compute func() []complex128) []complex128 {
+	key := templateSpecKey{tag: tag, kind: kind, n: n}
+	if e, ok := templateSpecCache.Load(key); ok {
+		ent := e.(*templateSpecEntry)
+		if ent.sum == sum {
+			return ent.spec
+		}
+		return compute()
+	}
+	ent := &templateSpecEntry{sum: sum, spec: compute()}
+	if prev, loaded := templateSpecCache.LoadOrStore(key, ent); loaded {
+		got := prev.(*templateSpecEntry)
+		if got.sum == sum {
+			return got.spec
+		}
+	}
+	return ent.spec
+}

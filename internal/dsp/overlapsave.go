@@ -10,13 +10,14 @@ package dsp
 // Both the segment and the template are real, so the transforms run on the
 // shared RealPlan (half-size complex FFT + O(n) packing): the per-step
 // butterfly work is half that of the complex formulation, and the plan
-// tables are shared across every correlator of the same size — each hub
-// session costs only its template spectrum and scratch buffers.
+// tables are shared across every correlator of the same size. With the
+// Shared constructor the template spectrum is shared too, leaving each hub
+// session only its scratch buffers.
 type MarkerCorrelator struct {
 	n    int          // FFT size
 	m    int          // template length
 	rp   *RealPlan    // shared transform plan
-	wfft []complex128 // conj(FFT(template)) half spectrum, cached
+	wfft []complex128 // conj(FFT(template)) half spectrum (possibly shared)
 	spec []complex128 // reusable half-spectrum scratch
 	td   []float64    // reusable time-domain scratch
 }
@@ -25,6 +26,27 @@ type MarkerCorrelator struct {
 // be a power of two greater than the template length; larger sizes yield
 // more lags per step (Step() = fftSize − len(template) + 1).
 func NewMarkerCorrelator(template []float64, fftSize int) *MarkerCorrelator {
+	c, n := markerCorrelatorShell(template, fftSize)
+	c.wfft = conjSpectrumReal(template, n)
+	return c
+}
+
+// NewMarkerCorrelatorShared is NewMarkerCorrelator with the conjugate
+// template spectrum served from the package-level template-spectrum cache:
+// every correlator built for the same (tag, FFT size) shares one immutable
+// spectrum instead of each storing its own — at Ekho's 1 s marker and
+// 131072-point FFT that is ~1 MB per hub session reclaimed. The tag must
+// identify the template (Ekho uses the PN sequence seed); a content
+// checksum detects tag collisions and falls back to a private spectrum.
+func NewMarkerCorrelatorShared(template []float64, fftSize int, tag uint64) *MarkerCorrelator {
+	c, n := markerCorrelatorShell(template, fftSize)
+	c.wfft = sharedSpectrumKind(tag, 0, n, ChecksumFloats(template), func() []complex128 {
+		return conjSpectrumReal(template, n)
+	})
+	return c
+}
+
+func markerCorrelatorShell(template []float64, fftSize int) (*MarkerCorrelator, int) {
 	if fftSize < NextPow2(len(template)+1) {
 		fftSize = NextPow2(2 * len(template))
 	}
@@ -32,20 +54,25 @@ func NewMarkerCorrelator(template []float64, fftSize int) *MarkerCorrelator {
 		fftSize = 2
 	}
 	rp := RealPlanFor(fftSize)
-	c := &MarkerCorrelator{
+	return &MarkerCorrelator{
 		n:    fftSize,
 		m:    len(template),
 		rp:   rp,
-		wfft: make([]complex128, rp.HalfLen()),
 		spec: make([]complex128, rp.HalfLen()),
 		td:   make([]float64, fftSize),
+	}, fftSize
+}
+
+func conjSpectrumReal(template []float64, fftSize int) []complex128 {
+	rp := RealPlanFor(fftSize)
+	td := make([]float64, fftSize)
+	copy(td, template)
+	w := make([]complex128, rp.HalfLen())
+	rp.Forward(w, td)
+	for i, v := range w {
+		w[i] = complex(real(v), -imag(v))
 	}
-	copy(c.td, template)
-	rp.Forward(c.wfft, c.td)
-	for i, v := range c.wfft {
-		c.wfft[i] = complex(real(v), -imag(v))
-	}
-	return c
+	return w
 }
 
 // Step returns the number of correlation lags produced per Correlate call.

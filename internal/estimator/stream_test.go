@@ -96,12 +96,15 @@ func TestStreamerBoundsMemory(t *testing.T) {
 	for i := 0; i+audio.FrameSamples <= marked.Len(); i += audio.FrameSamples {
 		s.AddChat(marked.Samples[i:i+audio.FrameSamples], float64(i)/audio.SampleRate)
 	}
-	// The incremental detector must not retain more than one overlap-save
-	// block of audio or a few windows of correlation history.
-	if len(s.det.rec) > s.det.corr.SegmentLen()+audio.FrameSamples {
-		t.Fatalf("recording buffer grew to %d", len(s.det.rec))
+	// The incremental detector (two-stage by default) must not retain
+	// more than one coarse FFT window of audio or a few normalization
+	// windows of decimated correlation history.
+	d := s.det.ts
+	fac := s.cfg.DecimateBy
+	if maxRec := (d.corr.SegmentLen()+s.cfg.NormWindow/fac+2*s.cfg.Delta)*fac + 16384; len(d.rec) > maxRec {
+		t.Fatalf("recording buffer grew to %d > %d", len(d.rec), maxRec)
 	}
-	if len(s.det.z) > 3*s.cfg.NormWindow+2*testSeq.Len() {
-		t.Fatalf("correlation buffer grew to %d", len(s.det.z))
+	if len(d.scan.z) > 3*s.cfg.NormWindow/fac+2*testSeq.Len()/fac {
+		t.Fatalf("correlation buffer grew to %d", len(d.scan.z))
 	}
 }

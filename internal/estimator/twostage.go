@@ -1,0 +1,928 @@
+package estimator
+
+import (
+	"math"
+	"sync"
+
+	"ekho/internal/audio"
+	"ekho/internal/dsp"
+	"ekho/internal/pn"
+)
+
+// Two-stage (coarse-to-fine) marker detection.
+//
+// Ekho's markers occupy 6-12 kHz only (pn.BandLowHz..BandHighHz), yet the
+// reference detector correlates at the full 48 kHz rate against a 48000-
+// sample template. The two-stage detector exploits the band-limited
+// structure:
+//
+// Coarse stage. The mic stream is multiplied by e^{-jω0·n} (ω0 at the
+// 9 kHz band center — exact, the oscillator period is 16 samples), which
+// translates the marker band to complex baseband ±3 kHz. A cascade of
+// half-band polyphase decimators brings the rate down by D (default 8, to
+// 6 kHz), and an overlap-save ComplexCorrelator correlates against the
+// identically-processed template — D× fewer lags against a D× shorter
+// template. Writing the full-rate analytic correlation as C(t), the
+// correlation of the mixed signals satisfies
+//
+//	C_dec[τ] = e^{-jω0·D·τ} · A(τ),   A(τ) ≈ C(τ·D)/D (filter-shaped),
+//
+// because both legs pass through the same filter chain: group delays
+// cancel and coarse lag τ maps to full-rate sample τ·D exactly. |C_dec| is
+// carrier-free, so the Eq. 4-7 peak logic runs on it unchanged with
+// parameters scaled to the lag rate: S/D, β^D, ⌈δ/D⌉ — and a ½ weight on
+// squared magnitudes in the power terms, which lands the coarse normalized
+// envelope in the same σ units as the full-rate Z* (a narrowband real
+// signal with envelope |C| has mean square |C|²/2), so θ transfers.
+//
+// Fine stage. A coarse candidate localizes the marker to ±(D/2) samples,
+// plus up to a ~carrier half-cycle of skew between the envelope max and
+// the real correlation's argmax. The refiner scores a contiguous span of
+// lags around τ·D with exact 48 kHz template dot products under the same
+// Eq. 4 normalization as the reference (den's baseline comes from the
+// de-rotated baseband, calibrated into full-rate units; den *differences*
+// between span lags come from the exact dots), growing the span whenever
+// the argmax rides its edge — the sample-accurate position the
+// compensator needs, at the cost of a dozen-odd 48000-MAC dots per
+// detection instead of any full-rate streaming work. See refine for the
+// numerics.
+//
+// Confirmation (Eq. 7 companion pairing) runs on the refined full-rate
+// positions via the shared peakConfirm, so emission semantics match the
+// reference exactly.
+
+// coarseThetaScale relaxes the Eq. 6 threshold at the coarse stage. The
+// decimated envelope reads a few percent low against the full-rate Z*
+// (band-edge loss through the decimation chain), so the coarse scan
+// admits candidates slightly under θ and the fine stage re-applies the
+// threshold to its exact, calibrated score — threshold decisions then
+// track the reference's rather than the coarse approximation's.
+const coarseThetaScale = 0.9
+
+// interpHalfWidth is the windowed-sinc half-width (taps per side) for
+// reconstructing the baseband correlation between decimated lags.
+const interpHalfWidth = 8
+
+// twoStageDetector implements the coarse-to-fine pipeline behind
+// IncrementalDetector.
+type twoStageDetector struct {
+	cfg  Config
+	fac  int // decimation factor D
+	refR int // fine-stage half-width, full-rate samples
+	mdec int // decimated template length
+
+	// Full-rate audio retained for the fine stage; rec[0] is absolute
+	// sample recBase.
+	rec     []float64
+	recBase int
+
+	osc   *dsp.QuadOsc // band-center mix-down oscillator
+	derot *dsp.QuadOsc // carrier at the decimated rate: e^{-jω0·D·τ}
+
+	// Fused front-end for even factors ≥ 4: a modulated ÷(D/2) stage
+	// reading the real stream directly, then a half-band ÷2. Odd factors
+	// fall back to the generic mix-down cascade in stages.
+	fastA  *dsp.BandDecimator
+	fastB  *dsp.HalfBandDecimator
+	stages []*dsp.Decimator // fallback ÷2 half-band cascade (plus odd residue)
+	mixBuf []complex128     // per-feed scratch, one per chain link
+	stgBuf [][]complex128
+
+	// Decimated baseband; bb[0] is absolute decimated index bbBase.
+	bb     []complex128
+	bbBase int
+	cNext  int // next absolute decimated lag to correlate
+	corr   *dsp.ComplexCorrelator
+	wdec   []complex128 // decimated template (shared, immutable)
+	magBuf []float64
+
+	// De-rotated correlation A[τ] retained around the peak-scan frontier
+	// for the fine stage's interpolation; cz[0] is absolute lag czBase.
+	cz     []complex128
+	czBase int
+
+	// kern[p] interpolates A at fractional position m + p/D.
+	kern [][]float64
+
+	scan coarseScan
+	conf peakConfirm
+
+	refZt   []float64 // reconstructed Z̃ over the refinement window
+	refPz   []float64 // prefix sums of Z̃²
+	refBp   []float64 // prefix sums of the coarse block power (fac/2)·|A|²
+	refEx   []float64 // exact Z cache across the refinement window
+	refExOk []bool    // which refEx entries hold a computed dot
+
+	// Cumulative unit calibration between exact Z and the reconstruction,
+	// accumulated at phase-0 lags only (where Z̃ carries no interpolation
+	// error): gEx/gRec estimates the constant A-unit → Z-unit power ratio.
+	gEx, gRec float64
+}
+
+// coarseKey identifies a decimated template: sequence seed and length plus
+// the decimation factor. A checksum of the source samples guards against
+// seed collisions (see dsp's template-spectrum cache for the same
+// contract).
+type coarseKey struct {
+	seed   int64
+	length int
+	fac    int
+}
+
+type coarseEntry struct {
+	sum  uint64
+	wdec []complex128
+}
+
+var coarseTemplateCache sync.Map // coarseKey -> *coarseEntry
+
+// bandCenterHz is the heterodyne frequency: the middle of the marker band.
+func bandCenterHz() int { return int((pn.BandLowHz + pn.BandHighHz) / 2) }
+
+// decimStages designs the decimation cascade for factor d at the given
+// input rate: ÷2 stages (half-band: cutoff at a quarter of the stage's
+// input rate, every second tap exactly zero) plus one generic stage for an
+// odd residue. Early stages only protect the full ±bandHalf baseband from
+// aliases and stay short; the final stage, whose output Nyquist may sit
+// inside the band, rolls the outer edge off between 0.85 and 1.15 of the
+// output Nyquist — the few-percent band-energy loss is far below the
+// marker's ~39 dB correlation processing gain.
+func decimStages(d int, rate, bandHalf float64) []*dsp.Decimator {
+	var out []*dsp.Decimator
+	r := rate
+	for d > 1 {
+		m := 2
+		if d%2 != 0 {
+			m = d
+		}
+		rOut := r / float64(m)
+		pass := math.Min(bandHalf, 0.85*rOut/2)
+		stop := rOut - pass
+		taps := int(math.Ceil(3.3*r/(stop-pass))) + 2
+		out = append(out, dsp.NewDecimator(m, dsp.LowPass((pass+stop)/2, r, taps).Taps))
+		r = rOut
+		d /= m
+	}
+	return out
+}
+
+// fastFrontEnd designs the fused two-link chain for even factors ≥ 4: a
+// BandDecimator folding the band-center mix into the ÷(D/2) stage (its
+// stop band at the first alias fold, rOut − pass) and a half-band ÷2 to
+// the final rate, with the same edge placement decimStages uses — so the
+// composite passband matches the cascade it replaces to within design
+// ripple. Returns nils when the factor has no even split.
+func fastFrontEnd(fac, rate int, bandHalf float64) (*dsp.BandDecimator, *dsp.HalfBandDecimator) {
+	if fac%2 != 0 || fac < 4 {
+		return nil, nil
+	}
+	m1 := fac / 2
+	r1 := float64(rate) / float64(m1)
+	pass1 := math.Min(bandHalf, 0.85*r1/2)
+	stop1 := r1 - pass1
+	// The first link tolerates a transition running ~15% past the fold
+	// edge: only the outermost slice of the folded image lands in band,
+	// and it arrives tens of dB down — the same early-stage relaxation
+	// decimStages applies to its opening ÷2 (whose folds onto the band
+	// carry comparable residuals). The fine stage's exact dots are
+	// unaffected; only the coarse gate sees the slightly higher noise
+	// floor, inside the coarseThetaScale margin.
+	taps1 := int(math.Ceil(2.6 * float64(rate) / (stop1 - pass1)))
+	a := dsp.NewBandDecimator(bandCenterHz(), rate, m1,
+		dsp.LowPass((pass1+stop1)/2, float64(rate), taps1).Taps)
+	r2 := r1 / 2
+	// The final link runs at the critical rate, so its transition band is
+	// the tightest in the chain and dominates the front-end's tap budget;
+	// 0.75·Nyquist instead of decimStages' 0.85 trades a slightly earlier
+	// roll-off (the template sees the identical response, so correlation
+	// shape is unaffected) for ~40% fewer wing taps.
+	pass2 := math.Min(bandHalf, 0.75*r2/2)
+	stop2 := r2 - pass2
+	taps2 := int(math.Ceil(3.3 * r1 / (stop2 - pass2)))
+	b := dsp.NewHalfBandDecimator(dsp.LowPass((pass2+stop2)/2, r1, taps2).Taps)
+	return a, b
+}
+
+// coarseTemplateFor returns the decimated complex template for seq at
+// factor fac, shared across sessions via the package cache.
+func coarseTemplateFor(seq *pn.Sequence, fac, rate int) []complex128 {
+	key := coarseKey{seed: seq.Seed, length: seq.Len(), fac: fac}
+	sum := dsp.ChecksumFloats(seq.Samples)
+	if e, ok := coarseTemplateCache.Load(key); ok {
+		ent := e.(*coarseEntry)
+		if ent.sum == sum {
+			return ent.wdec
+		}
+		return buildCoarseTemplate(seq, fac, rate)
+	}
+	ent := &coarseEntry{sum: sum, wdec: buildCoarseTemplate(seq, fac, rate)}
+	if prev, loaded := coarseTemplateCache.LoadOrStore(key, ent); loaded {
+		got := prev.(*coarseEntry)
+		if got.sum == sum {
+			return got.wdec
+		}
+	}
+	return ent.wdec
+}
+
+func buildCoarseTemplate(seq *pn.Sequence, fac, rate int) []complex128 {
+	bandHalf := (pn.BandHighHz - pn.BandLowHz) / 2
+	var w []complex128
+	// The template must pass through a chain identical to the stream's so
+	// the group delays cancel; pick the same variant the detector will use.
+	if a, b := fastFrontEnd(fac, rate, bandHalf); a != nil {
+		mid := a.Process(make([]complex128, 0, len(seq.Samples)/a.Factor()+1), seq.Samples)
+		w = b.Process(make([]complex128, 0, len(mid)/2+1), mid)
+	} else {
+		osc := dsp.NewQuadOsc(bandCenterHz(), rate)
+		stages := decimStages(fac, float64(rate), bandHalf)
+		w = dsp.DecimateChain(seq.Samples, osc, stages...)
+	}
+	mdec := (seq.Len() + fac - 1) / fac
+	if len(w) > mdec {
+		w = w[:mdec]
+	}
+	return w
+}
+
+// interpKernel tabulates a windowed-sinc interpolator for the fac
+// fractional phases p/fac, each row spanning offsets
+// [-interpHalfWidth+1, interpHalfWidth] and normalized to unit DC gain.
+// Phase 0 is the exact identity.
+func interpKernel(fac int) [][]float64 {
+	h := interpHalfWidth
+	kern := make([][]float64, fac)
+	for p := range kern {
+		row := make([]float64, 2*h)
+		frac := float64(p) / float64(fac)
+		var sum float64
+		for k := range row {
+			x := float64(k-(h-1)) - frac
+			var v float64
+			if x == 0 {
+				v = 1
+			} else {
+				v = math.Sin(math.Pi*x) / (math.Pi * x)
+			}
+			// Hamming window over the kernel span keeps the
+			// near-Nyquist response usable at 16 taps.
+			v *= 0.54 + 0.46*math.Cos(math.Pi*x/float64(h))
+			row[k] = v
+			sum += v
+		}
+		for k := range row {
+			row[k] /= sum
+		}
+		kern[p] = row
+	}
+	return kern
+}
+
+func newTwoStageDetector(c Config) *twoStageDetector {
+	fac := c.DecimateBy
+	L := c.Seq.Len()
+	mdec := (L + fac - 1) / fac
+	sDec := c.NormWindow / fac
+	if sDec < 1 {
+		sDec = 1
+	}
+	dDec := (c.Delta + fac - 1) / fac
+	rate := audio.SampleRate
+	bandHalf := (pn.BandHighHz - pn.BandLowHz) / 2
+	d := &twoStageDetector{
+		cfg:   c,
+		fac:   fac,
+		refR:  c.RefineRadius,
+		mdec:  mdec,
+		osc:   dsp.NewQuadOsc(bandCenterHz(), rate),
+		derot: dsp.NewQuadOsc(bandCenterHz()*fac, rate),
+		wdec:  coarseTemplateFor(c.Seq, fac, rate),
+		kern:  interpKernel(fac),
+		scan: coarseScan{
+			normWindow: sDec,
+			beta2:      math.Pow(c.Beta, float64(2*fac)),
+			theta2:     (c.Theta * coarseThetaScale) * (c.Theta * coarseThetaScale),
+			delta:      dDec,
+			powScale:   0.5,
+		},
+		conf: peakConfirm{interval: c.IntervalSamples, delta: c.Delta},
+	}
+	d.fastA, d.fastB = fastFrontEnd(fac, rate, bandHalf)
+	if d.fastA == nil {
+		d.stages = decimStages(fac, float64(rate), bandHalf)
+	}
+	d.corr = dsp.NewComplexCorrelatorShared(d.wdec, dsp.NextPow2(2*mdec), coarseTag(c.Seq.Seed, fac))
+	// Pre-size every steady-state buffer (see newFullRateDetector): the
+	// hub admits sessions mid-ramp, and lazy growth on the first
+	// correlation block would show up as allocation noise there.
+	step := d.corr.Step()
+	n := d.corr.SegmentLen()
+	d.magBuf = make([]float64, 0, step)
+	d.bb = make([]complex128, 0, n+4096)
+	d.cz = make([]complex128, 0, step+4*(dDec+interpHalfWidth))
+	d.rec = make([]float64, 0, (n+sDec+dDec+8)*fac+2*d.refR)
+	d.scan.z = make([]float64, 0, step+sDec+1)
+	d.scan.zPrefix = make([]float64, 0, step+sDec+2)
+	d.scan.env = make([]float64, 0, step+9*dDec+2)
+	d.scan.cands = make([]scanPeak, 0, 8)
+	d.conf.pending = make([]pendingPeak, 0, 8)
+	d.refZt = make([]float64, 0, 4*c.RefineRadius+2*fac+8)
+	d.refPz = make([]float64, 0, 4*c.RefineRadius+2*fac+9)
+	d.refBp = make([]float64, 0, sDec+8)
+	d.refEx = make([]float64, 0, 2*c.RefineRadius+2)
+	d.refExOk = make([]bool, 0, 2*c.RefineRadius+2)
+	d.mixBuf = make([]complex128, 0, 2048)
+	d.stgBuf = make([][]complex128, len(d.stages))
+	for i := range d.stgBuf {
+		d.stgBuf[i] = make([]complex128, 0, 2048)
+	}
+	return d
+}
+
+// coarseTag keys the shared decimated-template spectrum: the PN seed in
+// the low bits, the decimation factor up high (full-rate spectra use the
+// bare seed as their tag; the kind byte in the dsp cache also separates
+// real from complex entries).
+func coarseTag(seed int64, fac int) uint64 {
+	return uint64(seed) ^ uint64(fac)<<56
+}
+
+func (d *twoStageDetector) feed(samples []float64) []Detection {
+	d.rec = append(d.rec, samples...)
+	// Heterodyne and decimate the new audio down to complex baseband.
+	if d.fastA != nil {
+		// Fused chain: the modulated ÷(D/2) stage reads the real samples
+		// directly — no full-rate complex stream is ever materialized.
+		mid := d.fastA.Process(d.mixBuf[:0], samples)
+		d.mixBuf = mid[:0]
+		d.bb = d.fastB.Process(d.bb, mid)
+	} else {
+		cur := d.osc.MixDown(d.mixBuf[:0], samples)
+		d.mixBuf = cur[:0]
+		for i, st := range d.stages {
+			if i == len(d.stages)-1 {
+				d.bb = st.Process(d.bb, cur)
+				break
+			}
+			out := st.Process(d.stgBuf[i][:0], cur)
+			d.stgBuf[i] = out[:0]
+			cur = out
+		}
+		if len(d.stages) == 0 {
+			d.bb = append(d.bb, cur...)
+		}
+	}
+	d.correlate(false)
+	d.advance()
+	return d.conf.take()
+}
+
+func (d *twoStageDetector) flush() []Detection {
+	d.correlate(true)
+	d.advance()
+	return d.conf.take()
+}
+
+// correlate extends the coarse correlation as far as the decimated stream
+// allows; Flush computes the sub-block tail directly.
+func (d *twoStageDetector) correlate(force bool) {
+	for {
+		bbEnd := d.bbBase + len(d.bb)
+		if bbEnd-d.cNext < d.corr.SegmentLen() {
+			break
+		}
+		off := d.cNext - d.bbBase
+		d.appendC(d.corr.Correlate(d.bb[off : off+d.corr.SegmentLen()]))
+		d.dropCoveredBB()
+	}
+	if !force {
+		return
+	}
+	bbEnd := d.bbBase + len(d.bb)
+	if avail := bbEnd - d.mdec + 1 - d.cNext; avail > 0 {
+		tail := dsp.CrossCorrelateComplex(d.bb[d.cNext-d.bbBase:], d.wdec)
+		d.appendC(tail)
+		d.dropCoveredBB()
+	}
+}
+
+// appendC integrates freshly correlated coarse lags: the carrier
+// e^{-jω0·D·τ} is removed (A[τ] is what the fine stage interpolates) and
+// the squared magnitudes feed the squared-domain Eq. 4-6 scan — the
+// de-rotation is unit-modulus, so |A| = |C_dec| and the scan input never
+// needs a root.
+func (d *twoStageDetector) appendC(c []complex128) {
+	d.magBuf = d.magBuf[:0]
+	if d.derot.Period() <= 2 {
+		// ω0·D lands on 0 or π (it does for Ekho's 9 kHz center at D=8):
+		// the de-rotation degenerates to a sign the magnitudes never see.
+		for i, v := range c {
+			a := v
+			if real(d.derot.Factor(d.cNext+i)) < 0 {
+				a = -v
+			}
+			d.cz = append(d.cz, a)
+			d.magBuf = append(d.magBuf, real(v)*real(v)+imag(v)*imag(v))
+		}
+	} else {
+		for i, v := range c {
+			// A[τ] = C_dec[τ]·e^{+jω0·D·τ} = C_dec[τ]·conj(Factor(τ)).
+			f := d.derot.Factor(d.cNext + i)
+			a := complex(real(v)*real(f)+imag(v)*imag(f), imag(v)*real(f)-real(v)*imag(f))
+			d.cz = append(d.cz, a)
+			d.magBuf = append(d.magBuf, real(v)*real(v)+imag(v)*imag(v))
+		}
+	}
+	d.scan.append(d.cNext, d.magBuf)
+	d.cNext += len(c)
+}
+
+// dropCoveredBB discards decimated samples already consumed by the coarse
+// frontier (the next block still needs the template-length overlap).
+func (d *twoStageDetector) dropCoveredBB() {
+	if drop := d.cNext - d.bbBase; drop > 0 {
+		if drop > len(d.bb) {
+			drop = len(d.bb)
+		}
+		n := copy(d.bb, d.bb[drop:])
+		d.bb = d.bb[:n]
+		d.bbBase += drop
+	}
+}
+
+// advance runs the scaled Eq. 4-6 scan, refines each coarse candidate to
+// a full-rate sample and confirms via the shared Eq. 7 logic.
+func (d *twoStageDetector) advance() {
+	d.scan.advance()
+	for _, p := range d.scan.cands {
+		if det, ok := d.refine(p); ok {
+			d.conf.add(det)
+		}
+	}
+	d.scan.cands = d.scan.cands[:0]
+	d.conf.confirm(d.scan.peakNext * d.fac)
+	d.trimCZ()
+	d.trimRec()
+}
+
+// reconstructA interpolates the de-rotated baseband correlation Ã at the
+// full-rate lag t from the retained decimated samples.
+func (d *twoStageDetector) reconstructA(t int) (ar, ai float64) {
+	m := t / d.fac
+	ph := t - m*d.fac
+	row := d.kern[ph]
+	base := m - (interpHalfWidth - 1) - d.czBase
+	for k, kv := range row {
+		j := base + k
+		if j < 0 || j >= len(d.cz) {
+			continue
+		}
+		a := d.cz[j]
+		ar += real(a) * kv
+		ai += imag(a) * kv
+	}
+	return ar, ai
+}
+
+// blockPower returns the coarse estimate of the correlation power summed
+// over one decimated block: Σ_{k=τD}^{(τ+1)D-1} Z[k]² ≈ (D/2)·|A[τ]|². The
+// second-harmonic term cancels exactly over a block (2ω0·D spans whole
+// turns), so the estimate only errs by A's variation within the block.
+func (d *twoStageDetector) blockPower(tau int) float64 {
+	j := tau - d.czBase
+	if j < 0 {
+		j = 0
+	}
+	if j >= len(d.cz) {
+		j = len(d.cz) - 1
+	}
+	a := d.cz[j]
+	return 0.5 * float64(d.fac) * (real(a)*real(a) + imag(a)*imag(a))
+}
+
+// refine recovers the sample-accurate marker position for one coarse
+// candidate. The full-rate detector's peak is the argmax of the
+// *normalized* correlation Z*[t] = |Z[t]|/den[t] (Eq. 4), and den's
+// trailing window [t, t+S) drops steeply as its left edge crosses the
+// peak cluster — the argmax typically sits a half carrier cycle after the
+// raw |Z| maximum, so matching the reference to ±1 sample requires
+// scoring candidates with the same normalization.
+//
+// The baseband is critically sampled (±3 kHz at rate·D⁻¹ = 6 kHz), so a
+// per-sample reconstruction Z̃[t] from the decimated correlation is only
+// reliable at phase-0 lags — between them the interpolation error runs to
+// tens of percent and cannot rank carrier extrema. The refiner therefore
+// scores a small *contiguous* span of lags around the coarse position with
+// exact 48 kHz template dots: numerators are exact, and the den drop
+// between any two span lags — the decisive quantity — telescopes out of
+// the exact span power alone. The reconstruction supplies only the den
+// baseline (per-sample Z̃² to the span's right edge, then (D/2)·|A[τ]|²
+// block sums), bridged into full-rate units by a per-call least-squares
+// calibration over the span; any residual baseline error is common to
+// every candidate and cancels to first order in the score ratios. If the
+// argmax lands at a span edge the span grows and rescoring repeats (cached
+// dots are not recomputed), so the winner is always interior or pinned at
+// the window bound.
+//
+// The refined score is the full-rate Z* estimate in σ units, so the
+// Eq. 6 threshold is re-applied here exactly where the reference applies
+// it; the coarse stage's relaxed gate only selects which lags get
+// refined.
+func (d *twoStageDetector) refine(p scanPeak) (Detection, bool) {
+	t0 := p.pos * d.fac
+	lo := t0 - d.refR
+	if lo < 0 {
+		lo = 0
+	}
+	hi := t0 + d.refR
+	L := d.cfg.Seq.Len()
+	recEnd := d.recBase + len(d.rec)
+	if m := recEnd - L; hi > m {
+		hi = m
+	}
+	if lo < d.recBase {
+		lo = d.recBase
+	}
+	if hi < lo {
+		return Detection{Sample: t0, Strength: p.val}, p.val >= d.cfg.Theta
+	}
+	// Reconstruct Z̃ from lo through the end of the block containing
+	// hi+fac, so every candidate's per-sample head [t, rEnd) is covered.
+	mHead := hi/d.fac + 2
+	rEnd := mHead * d.fac
+	d.refZt = d.refZt[:0]
+	d.refPz = append(d.refPz[:0], 0)
+	for t := lo; t < rEnd; t++ {
+		ar, ai := d.reconstructA(t)
+		f := d.osc.Factor(t)
+		// Z̃[t] = Re{conj(Factor(t))·Ã} — the exact carrier at t.
+		zt := real(f)*ar + imag(f)*ai
+		d.refZt = append(d.refZt, zt)
+		d.refPz = append(d.refPz, d.refPz[len(d.refPz)-1]+zt*zt)
+	}
+	// Block-power prefix over the coarse lags covering the rest of the
+	// normalization window, [mHead, mHead + S/D + 1].
+	S := d.cfg.NormWindow
+	nb := S/d.fac + 2
+	d.refBp = append(d.refBp[:0], 0)
+	for j := 0; j < nb; j++ {
+		d.refBp = append(d.refBp, d.refBp[len(d.refBp)-1]+d.blockPower(mHead+j))
+	}
+	// denSum(t) = S·den²[t]: per-sample head to rEnd, whole blocks
+	// beyond, and a proportional share of the final straddled block
+	// (keeps den smooth in t rather than quantized to block boundaries).
+	denSum := func(t int) float64 {
+		sum := d.refPz[rEnd-lo] - d.refPz[t-lo]
+		remain := S - (rEnd - t)
+		whole := remain / d.fac
+		if whole > nb-1 {
+			whole = nb - 1
+		}
+		sum += d.refBp[whole]
+		if fr := remain - whole*d.fac; fr > 0 && whole < nb {
+			sum += float64(fr) / float64(d.fac) * (d.refBp[whole+1] - d.refBp[whole])
+		}
+		return sum
+	}
+	// Exact dot cache across the window; entries computed on demand as the
+	// span grows.
+	w := d.cfg.Seq.Samples
+	win := hi - lo + 1
+	d.refEx = d.refEx[:0]
+	d.refExOk = d.refExOk[:0]
+	for i := 0; i < win; i++ {
+		d.refEx = append(d.refEx, 0)
+		d.refExOk = append(d.refExOk, false)
+	}
+	exact := func(t int) float64 {
+		i := t - lo
+		if !d.refExOk[i] {
+			// Four independent accumulators keep the 48000-MAC dot at the
+			// load-port limit instead of the FP-add latency limit.
+			seg := d.rec[t-d.recBase : t-d.recBase+L]
+			ww := w[:len(seg)]
+			var s0, s1, s2, s3 float64
+			k := 0
+			for ; k+3 < len(ww); k += 4 {
+				s0 += seg[k] * ww[k]
+				s1 += seg[k+1] * ww[k+1]
+				s2 += seg[k+2] * ww[k+2]
+				s3 += seg[k+3] * ww[k+3]
+			}
+			for ; k < len(ww); k++ {
+				s0 += seg[k] * ww[k]
+			}
+			d.refEx[i] = (s0 + s1) + (s2 + s3)
+			d.refExOk[i] = true
+		}
+		return d.refEx[i]
+	}
+	// exactRun fills the dot cache over [a, b]. A lone dot streams the
+	// 48000-sample template and window through the cache and is memory-
+	// bound, so runs of uncached adjacent lags are computed four at a time
+	// in a single traversal — the four accumulators read a sliding
+	// four-sample window of rec, amortizing the streaming cost that
+	// dominates the single-lag form.
+	exactRun := func(a, b int) {
+		for t := a; t <= b; t++ {
+			if d.refExOk[t-lo] {
+				continue
+			}
+			r := t
+			for r < b && !d.refExOk[r+1-lo] {
+				r++
+			}
+			base := t
+			for ; base+3 <= r; base += 4 {
+				seg := d.rec[base-d.recBase : base-d.recBase+L+3]
+				var a0, a1, a2, a3 float64
+				for k := 0; k < len(w); k++ {
+					v := w[k]
+					a0 += v * seg[k]
+					a1 += v * seg[k+1]
+					a2 += v * seg[k+2]
+					a3 += v * seg[k+3]
+				}
+				i := base - lo
+				d.refEx[i], d.refEx[i+1], d.refEx[i+2], d.refEx[i+3] = a0, a1, a2, a3
+				d.refExOk[i], d.refExOk[i+1], d.refExOk[i+2], d.refExOk[i+3] = true, true, true, true
+			}
+			for ; base <= r; base++ {
+				exact(base)
+			}
+			t = r
+		}
+	}
+	// Initial span: the interpolated coarse peak localizes the envelope max
+	// to a few samples, and the normalization skews the argmax roughly half
+	// a carrier cycle (≈2.7 samples) later, so the span leans right of t0.
+	// Measured over the parity suite the winner lands in [t0−3, t0+4] with
+	// the mode at +3; this span keeps that mode interior while the adaptive
+	// extension below covers the tails.
+	s0 := t0 - d.fac/4
+	if s0 < lo {
+		s0 = lo
+	}
+	s1 := t0 + d.fac/2 + 1
+	if s1 > hi {
+		s1 = hi
+	}
+	if s1 < s0 {
+		s0, s1 = lo, hi
+	}
+	// Unit calibration: g² bridges the A-unit den baseline into full-rate
+	// Z units. Only phase-0 lags contribute — their Z̃ reads the exact
+	// grid A[τ], so Zex²/Z̃² there is the pure unit ratio, free of the
+	// interpolation attenuation that biases the other phases (the den
+	// baseline is dominated by exact-grid block powers, so an attenuated
+	// calibration would inflate it and systematically depress the score).
+	// The ratio is a constant of the decimation chain; it accumulates
+	// across calls for stability.
+	var sumEx, sumRec float64
+	exactRun(s0, s1)
+	for t := s0; t <= s1; t++ {
+		ze := d.refEx[t-lo]
+		zr := d.refZt[t-lo]
+		sumEx += ze * ze
+		sumRec += zr * zr
+		if t%d.fac == 0 {
+			d.gEx += ze * ze
+			d.gRec += zr * zr
+		}
+	}
+	best, bestScore := t0, -1.0
+	for {
+		exactRun(s0, s1)
+		g2 := 1.0
+		if d.gRec > 0 && d.gEx > 0 {
+			g2 = d.gEx / d.gRec
+		} else if sumRec > 0 && sumEx > 0 {
+			g2 = sumEx / sumRec
+		}
+		// Score every span lag: den²·S = g²·(baseline − its span part
+		// [t, s1]) + exact span power. Inter-candidate den differences are
+		// exact; the calibrated baseline is common mode.
+		best, bestScore = t0, -1.0
+		var exTail, recTail float64
+		for t := s1; t >= s0; t-- {
+			ze := d.refEx[t-lo]
+			zr := d.refZt[t-lo]
+			exTail += ze * ze
+			recTail += zr * zr
+			ds := g2*(denSum(t)-recTail) + exTail
+			if ds <= 0 {
+				continue
+			}
+			zs := math.Abs(ze) / math.Sqrt(ds/float64(S))
+			if zs > bestScore {
+				best, bestScore = t, zs
+			}
+		}
+		// Grow toward an edge-riding argmax so the emitted lag is an
+		// interior winner (or pinned at the window bound).
+		grew := false
+		if best-s0 <= 1 && s0 > lo {
+			if s0 -= d.fac / 2; s0 < lo {
+				s0 = lo
+			}
+			grew = true
+		}
+		if s1-best <= 1 && s1 < hi {
+			if s1 += d.fac / 2; s1 > hi {
+				s1 = hi
+			}
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	if bestScore < 0 {
+		return Detection{Sample: t0, Strength: p.val}, p.val >= d.cfg.Theta
+	}
+	return Detection{Sample: best, Strength: bestScore}, bestScore >= d.cfg.Theta
+}
+
+// trimCZ drops de-rotated correlation history the fine stage can no
+// longer need (future candidates sit at or past the peak-scan frontier).
+func (d *twoStageDetector) trimCZ() {
+	keep := d.refR/d.fac + interpHalfWidth + 4
+	cut := d.scan.peakNext - keep - d.czBase
+	// Batching the cut keeps the copy-back amortized well under the scan's
+	// cost; the retained tail is `keep` either way.
+	if cut <= 4096 {
+		return
+	}
+	n := copy(d.cz, d.cz[cut:])
+	d.cz = d.cz[:n]
+	d.czBase += cut
+}
+
+// trimRec drops full-rate audio behind every possible future refinement
+// window.
+func (d *twoStageDetector) trimRec() {
+	cutoff := d.scan.peakNext*d.fac - d.refR - 2*d.fac
+	drop := cutoff - d.recBase
+	// The retained span behind the scan frontier is large (roughly one
+	// correlator segment at the full rate), so the copy-back is batched
+	// coarsely: ~64k samples of extra lookback buys a 4× cut in bytes
+	// moved per fed second.
+	if drop <= 65536 {
+		return
+	}
+	if drop > len(d.rec) {
+		drop = len(d.rec)
+	}
+	n := copy(d.rec, d.rec[drop:])
+	d.rec = d.rec[:n]
+	d.recBase += drop
+}
+
+// coarseScan is peakScan transported to the squared domain for the coarse
+// stage's envelope magnitudes: callers feed |C|² and every Eq. 4-6
+// quantity is kept squared — the normalization denominator (a mean of
+// squares needs no root), the silence floor, the peak-hold envelope
+// (max and the β decay commute with squaring) and the θ gate. All the
+// comparisons the equations make are between non-negative values, so the
+// squared scan picks the identical candidate set while dropping the two
+// per-lag square roots the linear form pays at the decimated rate; the
+// one root left runs per emitted candidate, whose val stays in linear
+// normalized-correlation units. Kept separate from peakScan — which the
+// full-rate reference feeds signed lags — so coarse-path tuning never
+// touches the reference's cost or numerics.
+type coarseScan struct {
+	normWindow int
+	beta2      float64 // β², the squared-envelope decay
+	theta2     float64 // θ², the squared candidate gate
+	delta      int
+	powScale   float64 // weight on |C|² in the power terms (½, see peakScan)
+
+	// Squared correlation magnitudes; z[0] is absolute lag zBase. zPrefix
+	// has len(z)+1 entries with zPrefix[k+1]-zPrefix[k] = powScale·z[k].
+	z       []float64
+	zPrefix []float64
+	zBase   int
+	nmNext  int
+	sumSq   float64
+	count   int
+
+	// Squared envelope; env[0] is absolute position envBase.
+	env      []float64
+	envBase  int
+	envState float64
+	envSeen  bool
+	peakNext int
+
+	cands []scanPeak
+}
+
+// append integrates freshly squared correlation magnitudes starting at
+// absolute lag start (the current frontier).
+func (s *coarseScan) append(start int, sq []float64) {
+	if len(s.zPrefix) == 0 {
+		s.zBase = start
+		s.nmNext = start
+		s.zPrefix = append(s.zPrefix, 0)
+	}
+	for _, v := range sq {
+		s.z = append(s.z, v)
+		s.zPrefix = append(s.zPrefix, s.zPrefix[len(s.zPrefix)-1]+v*s.powScale)
+		s.sumSq += v * s.powScale
+		s.count++
+	}
+}
+
+// advance runs Eq. 4-6 (squared) over every position with full lookahead.
+func (s *coarseScan) advance() {
+	S := s.normWindow
+	zEnd := s.zBase + len(s.z)
+	floor2 := 0.0
+	if s.count > 0 {
+		floor2 = 0.0004 * (s.sumSq / float64(s.count)) // (0.02·RMS)²
+	}
+	for s.nmNext+S <= zEnd {
+		i := s.nmNext - s.zBase
+		den2 := (s.zPrefix[i+S] - s.zPrefix[i]) / float64(S)
+		if den2 < floor2 {
+			den2 = floor2
+		}
+		var nv2 float64
+		if den2 > 0 {
+			nv2 = s.z[i] / den2
+		}
+		s.pushEnvelope(s.nmNext, nv2)
+		s.nmNext++
+	}
+	s.trimZ()
+	s.checkPeaks()
+}
+
+func (s *coarseScan) pushEnvelope(abs int, nv2 float64) {
+	s.envState *= s.beta2
+	if nv2 > s.envState {
+		s.envState = nv2
+	}
+	if !s.envSeen {
+		s.envBase = abs
+		// Same boundary handling as peakScan: abs 0 is eligible with only
+		// a right neighbor.
+		s.peakNext = abs
+		if abs != 0 {
+			s.peakNext = abs + 1
+		}
+		s.envSeen = true
+	}
+	s.env = append(s.env, s.envState)
+}
+
+func (s *coarseScan) checkPeaks() {
+	delta := s.delta
+	envEnd := s.envBase + len(s.env)
+	for s.peakNext+delta+1 < envEnd {
+		t := s.peakNext
+		s.peakNext++
+		i := t - s.envBase
+		if i < 0 || (i < 1 && t != 0) {
+			continue
+		}
+		v := s.env[i]
+		if v < s.theta2 || s.env[i+1] >= v {
+			continue
+		}
+		if i >= 1 && s.env[i-1] > v {
+			continue
+		}
+		dominant := true
+		for j := max(0, i-delta); j <= i+delta && j < len(s.env); j++ {
+			if s.env[j] > v {
+				dominant = false
+				break
+			}
+		}
+		if !dominant {
+			continue
+		}
+		s.cands = append(s.cands, scanPeak{pos: t, val: math.Sqrt(v)})
+	}
+	if cut := s.peakNext - delta - 2 - s.envBase; cut > 8*delta {
+		n := copy(s.env, s.env[cut:])
+		s.env = s.env[:n]
+		s.envBase += cut
+	}
+}
+
+func (s *coarseScan) trimZ() {
+	cut := s.nmNext - s.zBase
+	if cut <= s.normWindow {
+		return
+	}
+	cut -= s.normWindow
+	base := s.zPrefix[cut]
+	n := copy(s.z, s.z[cut:])
+	s.z = s.z[:n]
+	for j := 0; j+cut < len(s.zPrefix); j++ {
+		s.zPrefix[j] = s.zPrefix[cut+j] - base
+	}
+	s.zPrefix = s.zPrefix[:len(s.zPrefix)-cut]
+	s.zBase += cut
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"ekho/internal/acoustic"
+	"ekho/internal/audio"
+	"ekho/internal/estimator"
+	"ekho/internal/gamesynth"
+	"ekho/internal/pn"
+)
+
+func init() { register("estbench", runEstBench) }
+
+// runEstBench measures the estimator front-end's steady-state cost in the
+// unit the hub budgets by: nanoseconds of CPU per second of fed mic audio.
+// Both detector pipelines run over the same overheard recording — the
+// band-decimated two-stage detector (the default) and the full-rate
+// reference — and the report pairs the speedup with a detection-parity
+// check so a faster front-end that drops or displaces markers cannot pass.
+//
+// Values: "ns_per_fed_sec_two_stage", "ns_per_fed_sec_full_rate",
+// "speedup", "detections_two_stage", "detections_full_rate",
+// "parity_max_delta_samples" (-1 when the detection sets differ in size,
+// which is itself a parity failure).
+func runEstBench(s Scale) *Report {
+	r := &Report{ID: "estbench", Title: "Estimator front-end cost: two-stage vs full-rate detection"}
+	seconds, reps := 30.0, 3
+	switch s {
+	case Quick:
+		seconds, reps = 10, 2
+	case Full:
+		seconds, reps = 60, 5
+	}
+
+	// One overheard recording for both pipelines: marked game audio through
+	// the default living-room channel (Xbox headset, 6 ft).
+	clip := gamesynth.Generate(gamesynth.Catalog()[2], seconds)
+	marked, _ := pn.Mark(clip, sharedSeq, pn.DefaultC)
+	marked.Samples = append(marked.Samples, make([]float64, int(1.2*audio.SampleRate))...)
+	rec := acoustic.DefaultChannel().Transmit(marked).Samples
+	fedSec := float64(len(rec)/audio.FrameSamples*audio.FrameSamples) / audio.SampleRate
+
+	// run feeds the recording frame by frame, as the hub's uplink does, and
+	// returns the detections plus the best-of-reps ns per fed second (min
+	// over repetitions rejects scheduler noise; see BENCH_hub methodology).
+	run := func(mode estimator.DetectorMode) ([]estimator.Detection, float64) {
+		var dets []estimator.Detection
+		best := math.Inf(1)
+		for rep := 0; rep < reps; rep++ {
+			d := estimator.NewIncrementalDetector(estimator.Config{Seq: sharedSeq, Detector: mode})
+			var out []estimator.Detection
+			runtime.GC()
+			start := time.Now()
+			for pos := 0; pos+audio.FrameSamples <= len(rec); pos += audio.FrameSamples {
+				out = append(out, d.Feed(rec[pos:pos+audio.FrameSamples])...)
+			}
+			elapsed := time.Since(start).Seconds()
+			out = append(out, d.Flush()...) // drain, untimed: steady-state cost only
+			if elapsed < best {
+				best = elapsed
+			}
+			dets = out
+		}
+		return dets, best / fedSec * 1e9
+	}
+
+	full, fullNs := run(estimator.DetectorFullRate)
+	two, twoNs := run(estimator.DetectorTwoStage)
+
+	speedup := fullNs / twoNs
+	maxDelta := 0.0
+	if len(two) != len(full) {
+		maxDelta = -1
+	} else {
+		for i := range full {
+			if d := math.Abs(float64(two[i].Sample - full[i].Sample)); d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+
+	r.addf("full-rate reference: %8.0f ns per fed second (%.2f%% of one core)", fullNs, fullNs/1e9*100)
+	r.addf("two-stage detector:  %8.0f ns per fed second (%.2f%% of one core)", twoNs, twoNs/1e9*100)
+	r.addf("speedup: %.2fx (acceptance floor: 3x)", speedup)
+	r.addf("detections: two-stage %d, full-rate %d, max timestamp delta %.0f samples",
+		len(two), len(full), maxDelta)
+	r.set("ns_per_fed_sec_two_stage", twoNs)
+	r.set("ns_per_fed_sec_full_rate", fullNs)
+	r.set("speedup", speedup)
+	r.set("detections_two_stage", float64(len(two)))
+	r.set("detections_full_rate", float64(len(full)))
+	r.set("parity_max_delta_samples", maxDelta)
+	return r
+}

@@ -102,6 +102,9 @@ type Config struct {
 	Codec codec.Profile
 	// Compensator tunes the per-session feedback loop.
 	Compensator ekho.CompensatorConfig
+	// Detector selects each session's marker-detection pipeline (zero
+	// value = the band-decimated two-stage detector).
+	Detector ekho.DetectorMode
 	// RecordDir, when non-empty, captures every session's full timeline
 	// to <RecordDir>/session-<id>.ektrace for deterministic replay with
 	// cmd/ekho-replay (see internal/trace).

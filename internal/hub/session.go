@@ -92,6 +92,7 @@ func (h *Hub) newSession(sh *shard, id uint32) *session {
 		MarkerC:     h.cfg.MarkerC,
 		Codec:       h.codecProfile(),
 		Compensator: h.cfg.Compensator,
+		Detector:    h.cfg.Detector,
 		Sink:        s,
 	}
 	s.pipe = serverpipe.New(cfg)

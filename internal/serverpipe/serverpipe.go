@@ -60,6 +60,10 @@ type Config struct {
 	// regime (zero value = estimator defaults; ignored unless
 	// Drift.Enabled).
 	DriftTracker estimator.DriftConfig
+	// Detector selects the marker-detection pipeline (zero value =
+	// DetectorTwoStage, the band-decimated coarse-to-fine detector;
+	// DetectorFullRate is the reference full-rate correlator).
+	Detector estimator.DetectorMode
 	// Now is the pluggable content-time clock used for compensator
 	// settling and event timestamps. Nil uses the built-in clock: the
 	// count of produced screen frames times 20 ms, which holds whether
@@ -166,7 +170,7 @@ func New(cfg Config) *Pipeline {
 		screen:        NewStream(cfg.Game),
 		accessory:     NewStream(cfg.Game),
 		injector:      pn.NewInjector(cfg.Seq, cfg.MarkerC),
-		est:           estimator.NewStreamer(estimator.Config{Seq: cfg.Seq}),
+		est:           estimator.NewStreamer(estimator.Config{Seq: cfg.Seq, Detector: cfg.Detector}),
 		comp:          compensator.New(cfg.Compensator),
 		dec:           codec.NewDecoder(cfg.Codec),
 		seqr:          NewChatSequencer(cfg.ChatStartsAtZero),

@@ -131,6 +131,12 @@ type Header struct {
 	// what every pre-drift session ran).
 	Drift        compensator.DriftConfig
 	DriftTracker estimator.DriftConfig
+	// Detector selects the marker-detection pipeline
+	// (serverpipe.Config.Detector). Appended at the payload tail within
+	// version 1; traces without it were recorded when the full-rate
+	// detector was the only pipeline, so absence decodes as
+	// DetectorFullRate — NOT the zero value, which is DetectorTwoStage.
+	Detector estimator.DetectorMode
 }
 
 // HeaderFor captures a session's effective pipeline configuration. The
@@ -155,6 +161,7 @@ func HeaderFor(sessionID uint32, clipIndex int, seed int64, cfg serverpipe.Confi
 		MutedMarkerAmpDB:   cfg.MutedMarkerAmpDB,
 		Drift:              cfg.Drift,
 		DriftTracker:       cfg.DriftTracker,
+		Detector:           cfg.Detector,
 	}
 }
 
@@ -177,6 +184,7 @@ func (h Header) PipelineConfig() serverpipe.Config {
 		MutedMarkerAmpDB:   h.MutedMarkerAmpDB,
 		Drift:              h.Drift,
 		DriftTracker:       h.DriftTracker,
+		Detector:           h.Detector,
 	}
 }
 
@@ -327,6 +335,8 @@ func appendHeader(b []byte, h Header) []byte {
 	b = appendF64(b, h.DriftTracker.SpanSec)
 	b = appendU32(b, uint32(int32(h.DriftTracker.MinPoints)))
 	b = appendF64(b, h.DriftTracker.MinSpanSec)
+	// Detector tail (version-1 growth; readers accept its absence).
+	b = append(b, byte(h.Detector))
 	return b
 }
 
@@ -470,6 +480,14 @@ func decodeHeader(payload []byte) (Header, error) {
 		h.DriftTracker.SpanSec = d.f64()
 		h.DriftTracker.MinPoints = d.i32()
 		h.DriftTracker.MinSpanSec = d.f64()
+	}
+	// The detector tail came later still. Pre-two-stage traces ran the
+	// full-rate detector, so absence means DetectorFullRate explicitly:
+	// the zero value now names the two-stage default.
+	h.Detector = estimator.DetectorFullRate
+	if d.err == nil && d.off < len(d.b) {
+		h.Detector = estimator.DetectorMode(d.b[d.off])
+		d.off++
 	}
 	return h, d.err
 }

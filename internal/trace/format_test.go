@@ -43,6 +43,24 @@ func testHeader() Header {
 		DriftTracker: estimator.DriftConfig{
 			Window: 48, SpanSec: 25, MinPoints: 5, MinSpanSec: 3.5,
 		},
+		Detector: estimator.DetectorFullRate,
+	}
+}
+
+// A trace recorded before the two-stage detector existed ends before the
+// detector byte; its session can only have run the full-rate pipeline, so
+// the decoder must say so explicitly (the zero DetectorMode now names the
+// two-stage default).
+func TestHeaderDetectorTailAbsent(t *testing.T) {
+	h := testHeader()
+	h.Detector = estimator.DetectorTwoStage
+	b := appendHeader(nil, h)
+	got, err := decodeHeader(b[:len(b)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Detector != estimator.DetectorFullRate {
+		t.Fatalf("absent detector tail decoded as %v, want full-rate", got.Detector)
 	}
 }
 
