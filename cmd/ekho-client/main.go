@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ekho/internal/live"
+	"ekho/internal/transport"
 )
 
 func main() {
@@ -27,8 +28,14 @@ func main() {
 	attenuation := flag.Float64("attenuation", 0.1, "overheard path gain")
 	jitterFrames := flag.Int("jitter-frames", 2, "jitter buffer threshold")
 	duration := flag.Duration("duration", 60*time.Second, "how long to run")
+	wire := flag.String("wire", "v2", "wire framing spoken with the server: v2 or rtp")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	w, ok := transport.ParseWire(*wire)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ekho-client: unknown -wire %q (want v2 or rtp)\n", *wire)
+		os.Exit(2)
+	}
 
 	_, err := live.RunClient(live.ClientConfig{
 		Server:       *server,
@@ -38,6 +45,7 @@ func main() {
 		Attenuation:  *attenuation,
 		JitterFrames: *jitterFrames,
 		Duration:     *duration,
+		Wire:         w,
 		Logf:         log.Printf,
 	})
 	if err != nil {

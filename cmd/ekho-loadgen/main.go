@@ -20,6 +20,13 @@
 // buffers); only the stats plumbing is in-process. Client work shares
 // the machine with the hub, so allocs/packet is process-wide and
 // sessions/core is a conservative lower bound.
+//
+// -wire ramps the fleet once per listed framing (v2, rtp): the report's
+// top-level ramp/stages stay the first framing's results (the stable
+// baseline diff surface) and every framing lands under "ramps" with its
+// wire tag. -admin ADDR serves the hub's /metrics and /sessions
+// endpoints during the ramp, so CI can assert the observability plane
+// answers under load.
 package main
 
 import (
@@ -29,8 +36,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +48,7 @@ import (
 	"ekho/internal/audio"
 	"ekho/internal/codec"
 	"ekho/internal/hub"
+	"ekho/internal/rtp"
 	"ekho/internal/transport"
 )
 
@@ -61,9 +71,20 @@ func main() {
 	shards := flag.Int("shards", 8, "hub shards")
 	comparePackets := flag.Int("compare-packets", 200000, "packets per path in the batched-vs-per-packet comparison (0 = skip)")
 	out := flag.String("out", "BENCH_hub.json", "output JSON path (empty = stdout only)")
+	wireList := flag.String("wire", "v2,rtp", "comma-separated wire framings to ramp (v2, rtp); the first is the baseline")
+	admin := flag.String("admin", "", "serve the hub's /metrics and /sessions on this address during the ramp (empty = off)")
 	verbose := flag.Bool("v", false, "log hub progress lines")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	var wires []transport.Wire
+	for _, name := range strings.Split(*wireList, ",") {
+		w, ok := transport.ParseWire(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown -wire entry %q (want v2 or rtp)", name)
+		}
+		wires = append(wires, w)
+	}
 
 	report := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -90,18 +111,28 @@ func main() {
 			cmp.PerPacketNs, cmp.BatchedNs, cmp.ImprovementPct, cmp.BatchedAllocsPerPacket)
 	}
 
-	ramp, err := runRamp(rampConfig{
-		listen: *listen, start: *start, step: *step, max: *maxSessions,
-		stage: *stage, settle: *settle, maxP99: *maxP99, maxShed: *maxShed,
-		pairs: *pairs, shards: *shards, verbose: *verbose,
-	}, &report.Stages)
-	if err != nil {
-		log.Fatalf("ramp: %v", err)
+	for i, w := range wires {
+		log.Printf("ramping over %s wire...", w)
+		wr := WireRamp{Wire: w.String()}
+		ramp, err := runRamp(rampConfig{
+			listen: *listen, start: *start, step: *step, max: *maxSessions,
+			stage: *stage, settle: *settle, maxP99: *maxP99, maxShed: *maxShed,
+			pairs: *pairs, shards: *shards, wire: w, admin: *admin,
+			verbose: *verbose,
+		}, &wr.Stages)
+		if err != nil {
+			log.Fatalf("ramp (%s): %v", w, err)
+		}
+		wr.Ramp = ramp
+		report.Ramps = append(report.Ramps, wr)
+		if i == 0 {
+			report.Ramp = ramp
+			report.Stages = wr.Stages
+		}
+		log.Printf("[%s] sustained %d sessions (%.1f/core): p99 dispatch %.3f ms, %.0f pkt/s, shed %.4f, allocs/pkt %.3f [%s]",
+			w, ramp.Sessions, ramp.SessionsPerCore, ramp.P99DispatchMS, ramp.PacketsPerSec,
+			ramp.ShedRate, ramp.AllocsPerPacket, ramp.Stopped)
 	}
-	report.Ramp = ramp
-	log.Printf("sustained %d sessions (%.1f/core): p99 dispatch %.3f ms, %.0f pkt/s, shed %.4f, allocs/pkt %.3f [%s]",
-		ramp.Sessions, ramp.SessionsPerCore, ramp.P99DispatchMS, ramp.PacketsPerSec,
-		ramp.ShedRate, ramp.AllocsPerPacket, ramp.Stopped)
 
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -117,7 +148,9 @@ func main() {
 	os.Stdout.Write(blob)
 }
 
-// Report is the BENCH_hub.json schema.
+// Report is the BENCH_hub.json schema. Ramp/Stages hold the first
+// listed wire's run (historically v2 — the surface older baselines
+// diff against); Ramps carries every wire's run tagged by framing.
 type Report struct {
 	GeneratedAt string        `json:"generated_at"`
 	Host        Host          `json:"host"`
@@ -125,6 +158,14 @@ type Report struct {
 	Compare     *Compare      `json:"compare,omitempty"`
 	Ramp        StageResult   `json:"ramp"`
 	Stages      []StageResult `json:"stages"`
+	Ramps       []WireRamp    `json:"ramps,omitempty"`
+}
+
+// WireRamp is one full ramp over a single wire framing.
+type WireRamp struct {
+	Wire   string        `json:"wire"`
+	Ramp   StageResult   `json:"ramp"`
+	Stages []StageResult `json:"stages"`
 }
 
 // Host describes the machine the baseline was taken on.
@@ -180,6 +221,8 @@ type rampConfig struct {
 	maxP99        time.Duration
 	maxShed       float64
 	pairs, shards int
+	wire          transport.Wire
+	admin         string
 	verbose       bool
 }
 
@@ -191,6 +234,7 @@ func runRamp(cfg rampConfig, stages *[]StageResult) (StageResult, error) {
 	if err != nil {
 		return StageResult{}, err
 	}
+	conn.SetDecoder(rtp.NewCodec()) // accept either framing, like ekho-server
 	var ready atomic.Int64
 	var logf hub.Logf
 	if cfg.verbose {
@@ -208,7 +252,19 @@ func runRamp(cfg rampConfig, stages *[]StageResult) (StageResult, error) {
 	go func() { serveErr <- h.Serve() }()
 	defer h.Close()
 
-	fleet, err := newFleet(cfg.pairs, conn.LocalAddr())
+	if cfg.admin != "" {
+		mux := http.NewServeMux()
+		h.RegisterAdmin(mux)
+		srv := &http.Server{Addr: cfg.admin, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+		defer srv.Close()
+	}
+
+	fleet, err := newFleet(cfg.pairs, conn.LocalAddr(), cfg.wire)
 	if err != nil {
 		return StageResult{}, err
 	}
@@ -324,10 +380,10 @@ type fleet struct {
 	next  uint32 // next session id to start (count started so far)
 }
 
-func newFleet(n int, server net.Addr) (*fleet, error) {
+func newFleet(n int, server net.Addr, wire transport.Wire) (*fleet, error) {
 	f := &fleet{}
 	for i := 0; i < n; i++ {
-		p, err := newSockPair(server)
+		p, err := newSockPair(server, wire)
 		if err != nil {
 			f.close()
 			return nil, err
@@ -372,11 +428,13 @@ type lgSession struct {
 }
 
 // sockPair is one pooled client socket pair plus the receive loops that
-// serve every session multiplexed onto it.
+// serve every session multiplexed onto it. wenc picks the wire framing
+// the pair speaks toward the hub (the hub replies in kind).
 type sockPair struct {
 	server net.Addr
 	screen *transport.Conn
 	ctrl   *transport.Conn
+	wenc   transport.WireEncoder
 
 	mu       sync.RWMutex
 	sessions map[uint32]*lgSession
@@ -384,7 +442,7 @@ type sockPair struct {
 	wg sync.WaitGroup
 }
 
-func newSockPair(server net.Addr) (*sockPair, error) {
+func newSockPair(server net.Addr, wire transport.Wire) (*sockPair, error) {
 	screen, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -394,8 +452,16 @@ func newSockPair(server net.Addr) (*sockPair, error) {
 		screen.Close()
 		return nil, err
 	}
+	// One stateful sniffing codec per receive loop (codecs are not
+	// concurrency-safe across loops).
+	screen.SetDecoder(rtp.NewCodec())
+	ctrl.SetDecoder(rtp.NewCodec())
+	var wenc transport.WireEncoder = transport.V2{}
+	if wire == transport.WireRTP {
+		wenc = rtp.Encoder{}
+	}
 	return &sockPair{
-		server: server, screen: screen, ctrl: ctrl,
+		server: server, screen: screen, ctrl: ctrl, wenc: wenc,
 		sessions: make(map[uint32]*lgSession),
 	}, nil
 }
@@ -421,8 +487,8 @@ func (p *sockPair) addSession(id uint32) {
 	p.mu.Lock()
 	p.sessions[id] = s
 	p.mu.Unlock()
-	_ = p.screen.SendTo(transport.EncodeHello(transport.Hello{Session: id, Role: transport.RoleScreen}), p.server)
-	_ = p.ctrl.SendTo(transport.EncodeHello(transport.Hello{Session: id, Role: transport.RoleController}), p.server)
+	_ = p.screen.SendTo(p.wenc.AppendHello(nil, transport.Hello{Session: id, Role: transport.RoleScreen}), p.server)
+	_ = p.ctrl.SendTo(p.wenc.AppendHello(nil, transport.Hello{Session: id, Role: transport.RoleController}), p.server)
 }
 
 func (p *sockPair) lookup(id uint32) *lgSession {
@@ -513,7 +579,7 @@ func (p *sockPair) screenLoop() {
 			s.pending = s.spare[:0]
 			s.spare = recs
 			s.mu.Unlock()
-			b, err := transport.AppendChat(chatBufs[i][:0], transport.Chat{
+			b, err := p.wenc.AppendChat(chatBufs[i][:0], transport.Chat{
 				Seq: md.Seq, Session: s.id, ADCMicros: adc, Records: recs, Encoded: pkt})
 			if err != nil {
 				continue

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ekho/internal/live"
+	"ekho/internal/transport"
 )
 
 func main() {
@@ -23,8 +24,14 @@ func main() {
 	extraDelay := flag.Duration("extra-delay", 150*time.Millisecond, "playback lag emulating TV pipeline")
 	jitterFrames := flag.Int("jitter-frames", 4, "jitter buffer threshold")
 	duration := flag.Duration("duration", 60*time.Second, "how long to run")
+	wire := flag.String("wire", "v2", "wire framing spoken with the server: v2 or rtp")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	w, ok := transport.ParseWire(*wire)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ekho-screen: unknown -wire %q (want v2 or rtp)\n", *wire)
+		os.Exit(2)
+	}
 
 	_, err := live.RunScreen(live.ScreenConfig{
 		Server:       *server,
@@ -33,6 +40,7 @@ func main() {
 		ExtraDelay:   *extraDelay,
 		JitterFrames: *jitterFrames,
 		Duration:     *duration,
+		Wire:         w,
 		Logf:         log.Printf,
 	})
 	if err != nil {

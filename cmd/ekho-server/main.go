@@ -19,7 +19,20 @@
 // with a deliberately offset clock, proving no clock synchronization is
 // needed.
 //
-// Signals: SIGHUP prints a stats snapshot plus one stable line per live
+// Wire framing: the server accepts the native v2 framing and RFC 3550
+// RTP packetization side by side, sniffing per datagram, and replies to
+// each session in whatever framing its hello used. -wire restricts
+// accepted framings (auto, v2 or rtp); clients pick theirs with the
+// matching -wire flag on ekho-screen/ekho-client.
+//
+// Observability: -pprof ADDR serves an admin mux with
+//
+//	/metrics      Prometheus text exposition of every hub counter
+//	/sessions     per-session JSON snapshots (wire, ISD, markers, ...)
+//	/debug/pprof  the usual net/http/pprof handlers
+//
+// making scraping the primary way to watch a hub. Signals: SIGHUP prints
+// the same numbers as a stats snapshot plus one stable line per live
 // session ("session <id> frames=... measurements=... actions=...
 // pending=... records=..."), SIGINT/SIGTERM drain the hub (existing
 // sessions finish, new ones are refused) and shut down after a short
@@ -42,6 +55,7 @@ import (
 
 	"ekho"
 	"ekho/internal/hub"
+	"ekho/internal/rtp"
 	"ekho/internal/transport"
 )
 
@@ -55,8 +69,9 @@ func main() {
 	markerC := flag.Float64("c", ekho.DefaultMarkerVolume, "marker relative volume C")
 	clip := flag.Int("clip", 0, "corpus clip index (0-29)")
 	record := flag.String("record", "", "capture each session to <dir>/session-<id>.ektrace for ekho-replay (empty = off)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	pprofAddr := flag.String("pprof", "", "serve the admin mux (/metrics, /sessions, /debug/pprof) on this address (e.g. 127.0.0.1:6060; empty = off)")
 	detector := flag.String("detector", "two-stage", "marker detector pipeline: two-stage or full-rate")
+	wire := flag.String("wire", "auto", "accepted wire framings: auto (sniff v2+rtp per datagram), v2 or rtp")
 	flag.Parse()
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 	if *capacity < 1 {
@@ -75,21 +90,20 @@ func main() {
 		}
 	}
 
-	if *pprofAddr != "" {
-		// DefaultServeMux carries the net/http/pprof handlers; profiles at
-		// http://<addr>/debug/pprof/ (CPU, heap, allocs, goroutine, ...).
-		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
-			}
-		}()
-	}
-
 	conn, err := transport.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ekho-server:", err)
 		os.Exit(1)
+	}
+	switch *wire {
+	case "auto":
+		conn.SetDecoder(rtp.NewCodec())
+	case "v2", "rtp":
+		w, _ := transport.ParseWire(*wire)
+		conn.SetDecoder(rtp.NewCodecFor(w))
+	default:
+		fmt.Fprintf(os.Stderr, "ekho-server: unknown -wire %q (want auto, v2 or rtp)\n", *wire)
+		os.Exit(2)
 	}
 	det, ok := ekho.ParseDetectorMode(*detector)
 	if !ok {
@@ -111,6 +125,18 @@ func main() {
 				id, r.Frames, r.Measurements, r.Actions)
 		},
 	}, conn)
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers; the hub adds
+		// /metrics (Prometheus text) and /sessions (JSON) beside them.
+		h.RegisterAdmin(http.DefaultServeMux)
+		go func() {
+			log.Printf("admin listening on http://%s/ (/metrics, /sessions, /debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 4)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)

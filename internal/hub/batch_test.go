@@ -5,7 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"ekho/internal/trace"
+	"ekho/internal/metrics"
 	"ekho/internal/transport"
 )
 
@@ -91,7 +91,7 @@ func TestShardOverloadShedsMediaKeepsControl(t *testing.T) {
 	admitDirect(t, h, 1, from)
 
 	// Wedge the worker: a stats probe whose result nobody reads yet.
-	block := make(chan []trace.SessionStat)
+	block := make(chan []SessionInfo)
 	sh := h.shards[0]
 	if !h.enqueue(sh, work{kind: workStats, stats: block}) {
 		t.Fatal("enqueue stats probe")
@@ -321,7 +321,7 @@ func (p plainConn) Close() error                                       { return 
 // TestDispatchLatencyHistogram sanity-checks the quantile accounting the
 // load harness keys off.
 func TestDispatchLatencyHistogram(t *testing.T) {
-	var c counters
+	c := newCounters(metrics.NewRegistry())
 	c.observeDispatch(1000, 90)  // ~1 µs × 90 packets
 	c.observeDispatch(1<<20, 10) // ~1 ms × 10 packets
 	var l LatencyHist

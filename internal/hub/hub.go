@@ -5,10 +5,11 @@
 //
 // Architecture:
 //
-//   - the receive loop decodes datagrams and demultiplexes them by the
-//     wire header's session ID (transport protocol v2) onto a sharded
-//     session registry: per-shard mutex + map, sessions pinned to shards
-//     by ID hash;
+//   - the receive loop decodes datagrams (native v2 framing or RTP via
+//     a pluggable transport.Decoder — see internal/rtp) and
+//     demultiplexes them by session ID onto a sharded session registry:
+//     per-shard mutex + map, sessions pinned to shards by ID hash; each
+//     session replies in whatever framing its Hello arrived in;
 //   - each shard has one worker goroutine that executes all packet
 //     handling, DSP and compensation for its sessions, so different
 //     sessions never contend on one lock and per-session pipeline state
@@ -16,7 +17,10 @@
 //   - admission control caps concurrent sessions (rejecting extra
 //     hellos with TypeBusy), idle sessions are reaped after a timeout,
 //     and Drain stops admissions while in-flight sessions finish;
-//   - atomic counters expose a lock-free stats Snapshot.
+//   - every counter lives in a metrics.Registry (see internal/metrics),
+//     so the lock-free stats Snapshot, the /metrics Prometheus endpoint
+//     and the /sessions JSON endpoint (RegisterAdmin) all read the same
+//     numbers.
 //
 // The single-session demo server (internal/live.RunServer) is a
 // capacity-1 hub; cmd/ekho-server runs an unrestricted one.
@@ -35,6 +39,8 @@ import (
 	"ekho/internal/audio"
 	"ekho/internal/codec"
 	"ekho/internal/gamesynth"
+	"ekho/internal/metrics"
+	"ekho/internal/rtp"
 	"ekho/internal/transport"
 )
 
@@ -109,6 +115,11 @@ type Config struct {
 	// to <RecordDir>/session-<id>.ektrace for deterministic replay with
 	// cmd/ekho-replay (see internal/trace).
 	RecordDir string
+	// Metrics is the registry the hub publishes its counters into (nil =
+	// a private registry; read it back with Hub.Metrics). Sharing one
+	// registry lets an embedder co-host its own metrics on the same
+	// /metrics endpoint.
+	Metrics *metrics.Registry
 	// Logf receives progress lines (nil silences them).
 	Logf Logf
 	// OnSessionReady fires (from a shard worker) when a session's
@@ -180,9 +191,14 @@ type Hub struct {
 // New returns a hub serving on conn. Call Serve to start it.
 func New(cfg Config, conn Conn) *Hub {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	h := &Hub{
 		cfg:   cfg,
 		conn:  conn,
+		stats: newCounters(reg),
 		done:  make(chan struct{}),
 		clips: make(map[int]*audio.Buffer),
 	}
@@ -194,8 +210,18 @@ func New(cfg Config, conn Conn) *Hub {
 			sessions: make(map[uint32]*session),
 			queue:    make(chan work, cfg.QueueDepth),
 			ctrl:     make(chan work, ctrlDepth),
+			cPackets: reg.Counter(fmt.Sprintf(`ekho_shard_packets_total{shard="%d"}`, i),
+				"Data-plane packets enqueued per shard."),
+			cShed: reg.Counter(fmt.Sprintf(`ekho_shard_shed_total{shard="%d"}`, i),
+				"Data-plane packets shed per shard."),
+			cSessions: reg.Gauge(fmt.Sprintf(`ekho_shard_sessions{shard="%d"}`, i),
+				"Live sessions pinned per shard."),
 		}
 	}
+	reg.GaugeFunc("ekho_dispatch_p50_ms", "Median batched dispatch latency (power-of-two resolution).",
+		func() float64 { return float64(h.DispatchLatency().Quantile(0.50)) / 1e6 })
+	reg.GaugeFunc("ekho_dispatch_p99_ms", "99th percentile batched dispatch latency (power-of-two resolution).",
+		func() float64 { return float64(h.DispatchLatency().Quantile(0.99)) / 1e6 })
 	h.arenaFree = make(chan *recvArena, numArenas)
 	for i := 0; i < numArenas; i++ {
 		h.arenaFree <- newRecvArena(h)
@@ -329,6 +355,7 @@ func (h *Hub) Dispatch(msg transport.Message) {
 		return
 	}
 	s.lastActive.Store(h.coarse.Load())
+	sh.cPackets.Inc()
 	h.enqueue(sh, work{kind: workPacket, msg: msg, s: s})
 }
 
@@ -408,9 +435,11 @@ func (h *Hub) dispatchArena(a *recvArena, n int) {
 		a.pending.Add(1)
 		select {
 		case sh.queue <- work{kind: workBatch, items: items, arena: a, stamp: now}:
+			sh.cPackets.Add(int64(len(items)))
 		default:
 			// Overload: shed this shard's data sub-batch.
 			h.stats.shed.Add(int64(len(items)))
+			sh.cShed.Add(int64(len(items)))
 			a.perShard[si] = items[:0]
 			a.pending.Add(-1)
 		}
@@ -418,31 +447,45 @@ func (h *Hub) dispatchArena(a *recvArena, n int) {
 	a.release() // drop the dispatch hold
 }
 
+// wireEncoder maps a session's latched wire framing onto the shared
+// stateless encoder for it. Both encoders are zero-size values, so the
+// interface conversion never allocates.
+func wireEncoder(w transport.Wire) transport.WireEncoder {
+	if w == transport.WireRTP {
+		return rtp.Encoder{}
+	}
+	return transport.V2{}
+}
+
 // admit applies admission control for a first Hello. It returns the new
-// session, or nil after sending a TypeBusy reject.
+// session, or nil after sending a TypeBusy reject. The session's wire
+// codec is latched from the Hello's framing: every packet the hub sends
+// to this session uses the framing the client helloed in.
 func (h *Hub) admit(sh *shard, msg transport.Message) *session {
 	active := h.stats.active.Load()
 	if h.draining.Load() || active >= int64(h.cfg.Capacity) {
 		h.stats.rejected.Add(1)
-		h.send(transport.EncodeBusy(transport.Busy{
+		busy := wireEncoder(msg.Wire).AppendBusy(nil, transport.Busy{
 			Session:  msg.Session,
 			Active:   uint32(active),
 			Capacity: uint32(h.cfg.Capacity),
-		}), msg.From)
+		})
+		h.send(busy, msg.From)
 		h.logf("hub: session %d rejected busy (active %d / capacity %d, draining=%v)",
 			msg.Session, active, h.cfg.Capacity, h.draining.Load())
 		return nil
 	}
-	s := h.newSession(sh, msg.Session)
+	s := h.newSession(sh, msg.Session, msg.Wire)
 	if !sh.insert(s) {
 		// Lost a (benchmark-only) race with another dispatcher; use the
 		// session that won.
 		return sh.lookup(msg.Session)
 	}
 	cur := h.stats.active.Add(1)
-	h.stats.bumpPeak(cur)
+	sh.cSessions.Add(1)
+	h.stats.peak.BumpMax(cur)
 	h.stats.admitted.Add(1)
-	h.logf("hub: session %d admitted (%d active)", msg.Session, cur)
+	h.logf("hub: session %d admitted (%d active, wire %v)", msg.Session, cur, msg.Wire)
 	return s
 }
 
@@ -565,6 +608,7 @@ func (h *Hub) flushSessions() {
 		sh.mu.Unlock()
 		for _, s := range ss {
 			h.stats.active.Add(-1)
+			sh.cSessions.Add(-1)
 			h.stats.ended.Add(1)
 			s.closeRecorder()
 			if h.cfg.OnSessionEnd != nil {

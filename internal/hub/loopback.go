@@ -12,6 +12,7 @@ import (
 	"ekho"
 	"ekho/internal/audio"
 	"ekho/internal/codec"
+	"ekho/internal/rtp"
 	"ekho/internal/transport"
 )
 
@@ -47,6 +48,18 @@ type memConn struct {
 	ch    chan datagram
 	done  chan struct{}
 	once  sync.Once
+	// dec decodes inbound datagrams (default: v2 only), mirroring
+	// transport.Conn's pluggable wire codec seam.
+	dec transport.Decoder
+}
+
+// SetDecoder replaces the endpoint's wire decoder (e.g. rtp.NewCodec()
+// to accept RTP framing). Call before any receive, as on
+// *transport.Conn; nil is ignored.
+func (c *memConn) SetDecoder(d transport.Decoder) {
+	if d != nil {
+		c.dec = d
+	}
 }
 
 // Endpoint creates (or returns) the named endpoint. The queue depth
@@ -63,6 +76,7 @@ func (n *MemNet) Endpoint(name string) Conn {
 		addr: memAddr(name),
 		ch:   make(chan datagram, 1024),
 		done: make(chan struct{}),
+		dec:  transport.V2{},
 	}
 	c.addrI = c.addr
 	n.eps[name] = c
@@ -100,8 +114,8 @@ func (c *memConn) Recv(deadline time.Time) (transport.Message, error) {
 		case <-c.done:
 			return transport.Message{}, net.ErrClosed
 		case d := <-c.ch:
-			msg, err := transport.Decode(d.b)
-			if err != nil {
+			var msg transport.Message
+			if err := c.dec.DecodeInto(&msg, d.b); err != nil {
 				continue // ignore stray datagrams
 			}
 			msg.From = d.from
@@ -129,7 +143,7 @@ func (c *memConn) RecvBatch(deadline time.Time, msgs []transport.Message) (int, 
 			case <-c.done:
 				return 0, net.ErrClosed
 			case d := <-c.ch:
-				if transport.DecodeInto(&msgs[0], d.b) != nil {
+				if c.dec.DecodeInto(&msgs[0], d.b) != nil {
 					continue // ignore stray datagrams
 				}
 				msgs[0].From = d.from
@@ -141,7 +155,7 @@ func (c *memConn) RecvBatch(deadline time.Time, msgs []transport.Message) (int, 
 		}
 		select {
 		case d := <-c.ch:
-			if transport.DecodeInto(&msgs[n], d.b) != nil {
+			if c.dec.DecodeInto(&msgs[n], d.b) != nil {
 				continue
 			}
 			msgs[n].From = d.from
@@ -199,6 +213,10 @@ type LoopbackScenario struct {
 	// keeps a 64-session fleet cheap; use codec.SWB32 for the paper's
 	// uplink).
 	Codec codec.Profile
+	// Wire selects the fleet's wire framing (default transport.WireV2;
+	// transport.WireRTP runs the same scenario over RTP packetization —
+	// the server accepts both either way, sniffing per datagram).
+	Wire transport.Wire
 	// Compensator tunes the per-session loop (default: 3 s settling,
 	// which suits accelerated runs).
 	Compensator ekho.CompensatorConfig
@@ -251,6 +269,9 @@ func RunLoopback(sc LoopbackScenario) (*LoopbackReport, error) {
 	sc = sc.withDefaults()
 	mem := NewMemNet()
 	serverConn := mem.Endpoint("hub")
+	// The hub socket sniffs framings per datagram, exactly like the live
+	// server: v2 fleets and RTP fleets run against the same decode path.
+	serverConn.(*memConn).SetDecoder(rtp.NewCodec())
 	serverAddr := serverConn.LocalAddr()
 
 	var resMu sync.Mutex
@@ -289,6 +310,14 @@ func RunLoopback(sc LoopbackScenario) (*LoopbackReport, error) {
 			offset:      sc.ClockOffsetSec(id),
 			atten:       sc.Attenuation,
 			enc:         codec.NewEncoder(sc.Codec),
+			wenc:        wireEncoder(sc.Wire),
+		}
+		if sc.Wire == transport.WireRTP {
+			// The hub replies in the session's helloed framing, so RTP
+			// fleets need RTP-decoding endpoints (one stateful codec per
+			// receive loop).
+			c.screen.(*memConn).SetDecoder(rtp.NewCodec())
+			c.ctrl.(*memConn).SetDecoder(rtp.NewCodec())
 		}
 		clients = append(clients, c)
 		clientWG.Add(1)
@@ -384,6 +413,8 @@ type loopbackClient struct {
 	offset      float64
 	atten       float64
 	enc         *codec.Encoder
+	// wenc frames every packet this client sends (v2 or RTP).
+	wenc transport.WireEncoder
 
 	mu       sync.Mutex
 	pending  []transport.PlaybackRecord
@@ -397,8 +428,8 @@ type loopbackClient struct {
 }
 
 func (c *loopbackClient) run(rejCh chan<- uint32) {
-	_ = c.screen.SendTo(transport.EncodeHello(transport.Hello{Session: c.id, Role: transport.RoleScreen}), c.server)
-	_ = c.ctrl.SendTo(transport.EncodeHello(transport.Hello{Session: c.id, Role: transport.RoleController}), c.server)
+	_ = c.screen.SendTo(c.wenc.AppendHello(nil, transport.Hello{Session: c.id, Role: transport.RoleScreen}), c.server)
+	_ = c.ctrl.SendTo(c.wenc.AppendHello(nil, transport.Hello{Session: c.id, Role: transport.RoleController}), c.server)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -474,7 +505,7 @@ func (c *loopbackClient) screenLoop(rejCh chan<- uint32) {
 			recs := c.pending
 			c.pending = nil
 			c.mu.Unlock()
-			b, err := transport.AppendChat(c.chat[:0], transport.Chat{
+			b, err := c.wenc.AppendChat(c.chat[:0], transport.Chat{
 				Seq: md.Seq, Session: c.id, ADCMicros: adc, Records: recs, Encoded: pkt})
 			if err != nil {
 				continue

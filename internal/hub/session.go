@@ -2,6 +2,7 @@ package hub
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"ekho"
 	"ekho/internal/audio"
+	"ekho/internal/jitterbuf"
 	"ekho/internal/serverpipe"
 	"ekho/internal/trace"
 	"ekho/internal/transport"
@@ -16,6 +18,13 @@ import (
 
 // frameSec is the content-time advance of one media tick (20 ms).
 const frameSec = float64(ekho.FrameSamples) / ekho.SampleRate
+
+// chatReorderWindow is how many out-of-order chat uplink packets a
+// session parks before abandoning a gap to the sequencer's concealment.
+// Chat packets are ~one per frame, so 4 slots rides out 80 ms of
+// reordering — beyond that the packet is as good as lost for a 10 ms
+// sync target.
+const chatReorderWindow = 4
 
 // SessionResult summarizes one hosted session after it ends.
 type SessionResult struct {
@@ -48,12 +57,34 @@ type session struct {
 	hub   *Hub
 	shard *shard // the shard this session is pinned to (egress queue)
 
+	// wire is the framing the session helloed in; enc is the matching
+	// stateless encoder, used for every packet sent to this session.
+	wire transport.Wire
+	enc  transport.WireEncoder
+
 	screenAddr     net.Addr
 	controllerAddr net.Addr
 	ready          bool
 
 	pipe *serverpipe.Pipeline
 	res  SessionResult
+
+	// reorder resequences the chat uplink ahead of the pipeline's
+	// ChatSequencer; hold stores the payload copies for parked packets
+	// (slot-indexed, capacity reused across anomalies). lastReorder is
+	// the stats snapshot already forwarded to the hub aggregates.
+	reorder     *jitterbuf.Reorder
+	hold        []heldChat
+	lastReorder jitterbuf.ReorderStats
+
+	// Per-session observability, fed by the EventSink callbacks and
+	// served by the /sessions admin endpoint.
+	injected  int
+	matched   int
+	expired   int
+	conceals  int
+	isdLastMS float64
+	isdPeakMS float64 // peak |ISD|
 
 	// rec captures the session's timeline when the hub records; recFile
 	// is the backing log file. Both are touched only on the shard worker
@@ -77,14 +108,28 @@ type session struct {
 	lastActive atomic.Int64
 }
 
-func (h *Hub) newSession(sh *shard, id uint32) *session {
+// heldChat is the payload of one parked out-of-order chat packet: a deep
+// copy (the arena slices a Message decodes into are recycled after the
+// batch), with capacity reused across the session's lifetime so only the
+// first few anomalies allocate.
+type heldChat struct {
+	adcMicros int64
+	records   []transport.PlaybackRecord
+	encoded   []byte
+}
+
+func (h *Hub) newSession(sh *shard, id uint32, wire transport.Wire) *session {
 	s := &session{
-		id:    id,
-		hub:   h,
-		shard: sh,
-		res:   SessionResult{ID: id},
-		frame: make([]float64, ekho.FrameSamples),
-		pcm:   make([]int16, ekho.FrameSamples),
+		id:      id,
+		hub:     h,
+		shard:   sh,
+		wire:    wire,
+		enc:     wireEncoder(wire),
+		res:     SessionResult{ID: id},
+		reorder: jitterbuf.NewReorder(chatReorderWindow),
+		hold:    make([]heldChat, chatReorderWindow),
+		frame:   make([]float64, ekho.FrameSamples),
+		pcm:     make([]int16, ekho.FrameSamples),
 	}
 	cfg := serverpipe.Config{
 		Game:        h.clip(h.cfg.Clip),
@@ -148,7 +193,7 @@ func (s *session) handle(msg *transport.Message) (done bool) {
 	case transport.TypeHello:
 		s.hello(msg)
 	case transport.TypeChat:
-		s.chat(msg.Chat)
+		s.chatIn(&msg.Chat)
 	case transport.TypeBye:
 		s.hub.logf("hub: session %d: bye from %s", s.id, msg.From)
 		return true
@@ -201,6 +246,59 @@ func (s *session) tick() {
 	s.res.Frames++
 }
 
+// chatIn runs one uplink packet through the reorder stage and delivers
+// whatever comes out in sequence. The in-order case — no gap open, the
+// packet is the expected sequence — costs two compares on top of the
+// old direct path and delivers the arena-backed payload zero-copy;
+// out-of-order packets are deep-copied into a hold slot until the gap
+// fills or the window flushes.
+func (s *session) chatIn(c *transport.Chat) {
+	v, slot := s.reorder.Offer(c.Seq)
+	if v == jitterbuf.RDeliver && s.reorder.Pending() == 0 {
+		s.chat(*c) // fast path: nothing held, nothing to drain
+		return
+	}
+	switch v {
+	case jitterbuf.RDeliver:
+		s.chat(*c)
+	case jitterbuf.RHold:
+		h := &s.hold[slot]
+		h.adcMicros = c.ADCMicros
+		h.records = append(h.records[:0], c.Records...)
+		h.encoded = append(h.encoded[:0], c.Encoded...)
+	}
+	for {
+		slot, seq, ok := s.reorder.Pop()
+		if !ok {
+			break
+		}
+		h := &s.hold[slot]
+		// s.chat consumes the payload synchronously (the pipeline copies
+		// what it keeps), so the slot is free for reuse on return.
+		s.chat(transport.Chat{
+			Seq: seq, Session: s.id, ADCMicros: h.adcMicros,
+			Records: h.records, Encoded: h.encoded,
+		})
+	}
+	// Forward the stage's counter movement to the fleet aggregates; only
+	// anomaly paths reach here, so the fast path never touches these.
+	st := s.reorder.Stats()
+	d, prev := &s.hub.stats, s.lastReorder
+	if n := st.Held - prev.Held; n > 0 {
+		d.reordered.Add(int64(n))
+	}
+	if n := st.Late - prev.Late; n > 0 {
+		d.reorderLate.Add(int64(n))
+	}
+	if n := st.Duplicates - prev.Duplicates; n > 0 {
+		d.reorderDups.Add(int64(n))
+	}
+	if n := (st.Flushed + st.Overflows) - (prev.Flushed + prev.Overflows); n > 0 {
+		d.reorderFlushed.Add(int64(n))
+	}
+	s.lastReorder = st
+}
+
 // chat deserializes one uplink packet into the pipeline: piggybacked
 // playback records first (micros → seconds), then the encoded audio.
 func (s *session) chat(chat transport.Chat) {
@@ -238,7 +336,7 @@ func (s *session) sendMedia(buf []byte, to net.Addr, m transport.Media) []byte {
 		s.pcm[i] = audio.FloatToInt16(v)
 	}
 	m.Samples = s.pcm
-	out, err := transport.AppendMedia(buf[:0], m)
+	out, err := s.enc.AppendMedia(buf[:0], m)
 	if err != nil {
 		s.hub.stats.sendErrs.Add(1)
 		s.lastPkt = 0
@@ -251,17 +349,30 @@ func (s *session) sendMedia(buf []byte, to net.Addr, m transport.Media) []byte {
 	return out
 }
 
-// stat snapshots the session as a stable per-session status line; shard
-// workers call it for the hub's SessionStats collection.
-func (s *session) stat() trace.SessionStat {
-	return trace.SessionStat{
+// info snapshots the session for the admin plane; shard workers call it
+// for the hub's SessionInfos collection (trace.SessionStat lines are
+// derived from it, so the two views can never drift).
+func (s *session) info() SessionInfo {
+	rs := s.reorder.Stats()
+	return SessionInfo{
 		ID:           s.id,
+		Wire:         s.wire.String(),
 		Frames:       s.res.Frames,
 		Measurements: s.res.Measurements,
 		Actions:      s.res.Actions,
 		Pending:      s.pipe.PendingMarkers(),
 		Records:      s.pipe.RecordCount(),
 		Resamples:    s.res.Resamples,
+		Injected:     s.injected,
+		Matched:      s.matched,
+		Expired:      s.expired,
+		Conceals:     s.conceals,
+		ISDLastMS:    s.isdLastMS,
+		ISDPeakAbsMS: s.isdPeakMS,
+		ReorderHeld:  rs.Held,
+		ReorderLate:  rs.Late,
+		ReorderDups:  rs.Duplicates,
+		GapsFlushed:  rs.Flushed + rs.Overflows,
 	}
 }
 
@@ -274,6 +385,8 @@ func (s *session) MarkerInjected(content int64) {
 	if s.rec != nil {
 		s.rec.MarkerInjected(content)
 	}
+	s.injected++
+	s.hub.stats.injections.Inc()
 }
 
 // MarkerMatched implements serverpipe.EventSink.
@@ -281,6 +394,8 @@ func (s *session) MarkerMatched(content int64, localTime float64) {
 	if s.rec != nil {
 		s.rec.MarkerMatched(content, localTime)
 	}
+	s.matched++
+	s.hub.stats.matches.Inc()
 }
 
 // MarkerExpired implements serverpipe.EventSink.
@@ -288,6 +403,8 @@ func (s *session) MarkerExpired(content int64) {
 	if s.rec != nil {
 		s.rec.MarkerExpired(content)
 	}
+	s.expired++
+	s.hub.stats.expired.Inc()
 	s.hub.logf("hub: session %d: marker at content %d expired unmatched", s.id, content)
 }
 
@@ -296,6 +413,8 @@ func (s *session) ChatGapConcealed(seq uint32, startLocal float64) {
 	if s.rec != nil {
 		s.rec.ChatGapConcealed(seq, startLocal)
 	}
+	s.conceals++
+	s.hub.stats.conceals.Inc()
 }
 
 // ISDMeasurement implements serverpipe.EventSink.
@@ -309,6 +428,11 @@ func (s *session) ISDMeasurement(now float64, m ekho.Measurement) {
 		s.res.PostActionMeasurements++
 	}
 	s.res.ISDs = append(s.res.ISDs, m.ISDSeconds)
+	s.isdLastMS = m.ISDSeconds * 1000
+	if abs := math.Abs(s.isdLastMS); abs > s.isdPeakMS {
+		s.isdPeakMS = abs
+		s.hub.stats.isdPeakMS.Observe(abs)
+	}
 	s.hub.logf("hub: session %d: ISD measurement %+.1f ms (strength %.0f)", s.id, m.ISDSeconds*1000, m.Strength)
 }
 

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"time"
 
-	"ekho/internal/trace"
+	"ekho/internal/metrics"
 	"ekho/internal/transport"
 )
 
@@ -34,6 +34,12 @@ type shard struct {
 	// egress queues this shard's outbound datagrams during a work item;
 	// the worker flushes it through SendBatch once per batch/tick.
 	egress []transport.Packet
+	// cPackets / cShed / cSessions are this shard's labeled registry
+	// metrics (`{shard="i"}`), updated once per sub-batch so the /metrics
+	// per-shard breakdown costs one atomic per shard per receive batch.
+	cPackets  *metrics.Counter
+	cShed     *metrics.Counter
+	cSessions *metrics.Gauge
 }
 
 type workKind uint8
@@ -68,7 +74,7 @@ type work struct {
 	// stats receives the shard's per-session snapshots (workStats): the
 	// worker owns session state, so snapshots are taken on it and the
 	// requester waits on this channel.
-	stats chan<- []trace.SessionStat
+	stats chan<- []SessionInfo
 }
 
 // shardIndex pins a session ID to a shard. Session IDs are arbitrary
@@ -173,11 +179,11 @@ func (h *Hub) process(sh *shard, w work) {
 			sh.scratch = append(sh.scratch, s)
 		}
 		sh.mu.Unlock()
-		stats := make([]trace.SessionStat, 0, len(sh.scratch))
+		infos := make([]SessionInfo, 0, len(sh.scratch))
 		for _, s := range sh.scratch {
-			stats = append(stats, s.stat())
+			infos = append(infos, s.info())
 		}
-		w.stats <- stats
+		w.stats <- infos
 	}
 	h.flushEgress(sh)
 }
@@ -216,6 +222,7 @@ func (h *Hub) remove(sh *shard, s *session, reaped bool) {
 		return
 	}
 	h.stats.active.Add(-1)
+	sh.cSessions.Add(-1)
 	h.stats.ended.Add(1)
 	if reaped {
 		h.stats.reaped.Add(1)

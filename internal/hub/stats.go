@@ -3,9 +3,11 @@ package hub
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync/atomic"
 	"time"
 
+	"ekho/internal/metrics"
 	"ekho/internal/trace"
 )
 
@@ -14,31 +16,105 @@ import (
 // the range spans 1 ns to ~9 s in powers of two.
 const latBuckets = 34
 
-// counters is the hub's always-on accounting, updated with atomics from
-// the receive loop, the shard workers and the reaper so a Snapshot never
-// takes a lock.
+// counters is the hub's always-on accounting: every field is a handle
+// into the hub's metrics.Registry (resolved once at construction, so
+// hot-path updates are single uncontended atomic adds — no lookups),
+// which makes the registry the one source of truth behind Snapshot, the
+// SIGHUP stat line and the /metrics endpoint alike.
 type counters struct {
-	active       atomic.Int64
-	peak         atomic.Int64
-	admitted     atomic.Int64
-	rejected     atomic.Int64
-	reaped       atomic.Int64
-	ended        atomic.Int64
-	packetsIn    atomic.Int64
-	packetsOut   atomic.Int64
-	strays       atomic.Int64
-	sendErrs     atomic.Int64
-	measurements atomic.Int64
-	actions      atomic.Int64
-	resamples    atomic.Int64
+	reg *metrics.Registry
+
+	active   *metrics.Gauge
+	peak     *metrics.Gauge
+	admitted *metrics.Counter
+	rejected *metrics.Counter
+	reaped   *metrics.Counter
+	ended    *metrics.Counter
+
+	packetsIn  *metrics.Counter
+	packetsOut *metrics.Counter
+	strays     *metrics.Counter
+	sendErrs   *metrics.Counter
+
+	measurements *metrics.Counter
+	actions      *metrics.Counter
+	resamples    *metrics.Counter
+
 	// shed counts data-plane packets dropped because their shard's queue
 	// was full (overload shedding); ctrlDropped counts control packets
 	// dropped because a shard's control lane overflowed (pathological).
-	shed        atomic.Int64
-	ctrlDropped atomic.Int64
+	shed        *metrics.Counter
+	ctrlDropped *metrics.Counter
+
+	// Marker plane: injections/matches/expiries across all sessions.
+	injections *metrics.Counter
+	matches    *metrics.Counter
+	expired    *metrics.Counter
+
+	// Chat uplink resequencing plane: conceals is the pipeline's gap
+	// concealment, the reorder* counters are the jitterbuf.Reorder
+	// stage's routing decisions.
+	conceals       *metrics.Counter
+	reordered      *metrics.Counter
+	reorderLate    *metrics.Counter
+	reorderDups    *metrics.Counter
+	reorderFlushed *metrics.Counter
+
+	// isdPeakMS tracks the fleet-wide peak |ISD| in milliseconds.
+	isdPeakMS *metrics.FloatMax
+
 	// latency is the packet-weighted dispatch-latency histogram, updated
-	// once per processed batch by the shard workers.
-	latency [latBuckets]atomic.Int64
+	// once per processed batch by the shard workers. It stays a plain
+	// atomic array (34 buckets would be 34 registry entries); /metrics
+	// exports its quantiles through gauge functions instead. Held by
+	// pointer so counters stays a plain copyable bag of handles.
+	latency *[latBuckets]atomic.Int64
+}
+
+// newCounters resolves every hub metric in reg.
+func newCounters(reg *metrics.Registry) counters {
+	c := counters{
+		reg:      reg,
+		latency:  new([latBuckets]atomic.Int64),
+		active:   reg.Gauge("ekho_sessions_active", "Currently admitted sessions."),
+		peak:     reg.Gauge("ekho_sessions_peak", "High-water mark of concurrently admitted sessions."),
+		admitted: reg.Counter("ekho_sessions_admitted_total", "Hellos admitted as new sessions."),
+		rejected: reg.Counter("ekho_sessions_rejected_total", "Hellos refused with a busy reject."),
+		reaped:   reg.Counter("ekho_sessions_reaped_total", "Sessions evicted for idleness."),
+		ended:    reg.Counter("ekho_sessions_ended_total", "Sessions ended (bye, reap or shutdown)."),
+
+		packetsIn:  reg.Counter("ekho_packets_in_total", "Decoded inbound datagrams."),
+		packetsOut: reg.Counter("ekho_packets_out_total", "Successfully sent datagrams."),
+		strays:     reg.Counter("ekho_packets_stray_total", "Datagrams for unknown sessions."),
+		sendErrs:   reg.Counter("ekho_send_errors_total", "Failed datagram sends."),
+
+		measurements: reg.Counter("ekho_isd_measurements_total", "ISD measurements across all sessions."),
+		actions:      reg.Counter("ekho_compensation_actions_total", "Compensation actions across all sessions."),
+		resamples:    reg.Counter("ekho_resamples_total", "Drift-regime resample retunes across all sessions."),
+
+		shed:        reg.Counter("ekho_packets_shed_total", "Data-plane packets dropped by overload shedding."),
+		ctrlDropped: reg.Counter("ekho_ctrl_dropped_total", "Control packets dropped on a full control lane."),
+
+		injections: reg.Counter("ekho_markers_injected_total", "PN markers injected into screen streams."),
+		matches:    reg.Counter("ekho_markers_matched_total", "PN markers matched in returned chat audio."),
+		expired:    reg.Counter("ekho_markers_expired_total", "PN markers expired unmatched."),
+
+		conceals:       reg.Counter("ekho_chat_conceals_total", "Chat sequence gaps concealed by the pipeline."),
+		reordered:      reg.Counter("ekho_chat_reordered_total", "Out-of-order chat packets resequenced before the pipeline."),
+		reorderLate:    reg.Counter("ekho_chat_reorder_late_total", "Chat packets dropped as too late to resequence."),
+		reorderDups:    reg.Counter("ekho_chat_reorder_dup_total", "Duplicate chat packets dropped by the resequencer."),
+		reorderFlushed: reg.Counter("ekho_chat_reorder_flushed_total", "Chat gaps abandoned because the reorder window filled."),
+
+		isdPeakMS: reg.Max("ekho_isd_peak_abs_ms", "Peak |ISD| measured across the fleet, in milliseconds."),
+	}
+	reg.GaugeFunc("ekho_marker_match_rate", "Matched / injected marker ratio.", func() float64 {
+		inj := c.injections.Load()
+		if inj == 0 {
+			return 0
+		}
+		return float64(c.matches.Load()) / float64(inj)
+	})
+	return c
 }
 
 // observeDispatch records one batch's receive-to-worker latency for all
@@ -108,15 +184,10 @@ func (h *Hub) DispatchLatency() LatencyHist {
 	return l
 }
 
-// bumpPeak raises the peak-session mark to at least cur.
-func (c *counters) bumpPeak(cur int64) {
-	for {
-		p := c.peak.Load()
-		if cur <= p || c.peak.CompareAndSwap(p, cur) {
-			return
-		}
-	}
-}
+// Metrics returns the hub's metric registry; cmd binaries mount it on
+// an HTTP mux via RegisterAdmin, and embedders may add their own
+// metrics to it.
+func (h *Hub) Metrics() *metrics.Registry { return h.stats.reg }
 
 // Snapshot is a point-in-time view of the hub's counters.
 type Snapshot struct {
@@ -153,7 +224,8 @@ type Snapshot struct {
 }
 
 // Stats returns a consistent-enough snapshot of the hub counters (each
-// field is individually atomic; no lock is taken).
+// field is individually atomic; no lock is taken). It is a thin read of
+// the metrics registry — the same numbers /metrics serves.
 func (h *Hub) Stats() Snapshot {
 	c := &h.stats
 	return Snapshot{
@@ -175,31 +247,75 @@ func (h *Hub) Stats() Snapshot {
 	}
 }
 
-// SessionStats snapshots every live session in the stable one-line-per-
-// session format (trace.SessionStat). Snapshots are taken on the shard
-// workers — the owners of session state — so the result is race-free;
-// the call therefore waits briefly behind in-flight work. It returns nil
-// after the hub has closed. Results are sorted by session ID, so live
-// SIGHUP dumps and replay reports line up line for line.
-func (h *Hub) SessionStats() []trace.SessionStat {
-	ch := make(chan []trace.SessionStat, len(h.shards))
+// SessionInfo is the rich per-session snapshot served by the /sessions
+// admin endpoint: the stable stat-line fields plus wire codec, marker
+// and conceal counters, resequencer activity and the session's last and
+// peak ISD.
+type SessionInfo struct {
+	ID           uint32  `json:"id"`
+	Wire         string  `json:"wire"`
+	Frames       int     `json:"frames"`
+	Measurements int     `json:"measurements"`
+	Actions      int     `json:"actions"`
+	Pending      int     `json:"pending_markers"`
+	Records      int     `json:"playback_records"`
+	Resamples    int     `json:"resamples"`
+	Injected     int     `json:"markers_injected"`
+	Matched      int     `json:"markers_matched"`
+	Expired      int     `json:"markers_expired"`
+	Conceals     int     `json:"chat_conceals"`
+	ISDLastMS    float64 `json:"isd_last_ms"`
+	ISDPeakAbsMS float64 `json:"isd_peak_abs_ms"`
+	ReorderHeld  uint64  `json:"chat_reordered"`
+	ReorderLate  uint64  `json:"chat_reorder_late"`
+	ReorderDups  uint64  `json:"chat_reorder_dups"`
+	GapsFlushed  uint64  `json:"chat_reorder_flushed"`
+}
+
+// SessionInfos snapshots every live session. Snapshots are taken on the
+// shard workers — the owners of session state — so the result is
+// race-free; the call therefore waits briefly behind in-flight work. It
+// returns nil after the hub has closed. Results are sorted by session
+// ID.
+func (h *Hub) SessionInfos() []SessionInfo {
+	ch := make(chan []SessionInfo, len(h.shards))
 	asked := 0
 	for _, sh := range h.shards {
 		if h.enqueue(sh, work{kind: workStats, stats: ch}) {
 			asked++
 		}
 	}
-	var all []trace.SessionStat
+	var all []SessionInfo
 	for i := 0; i < asked; i++ {
 		select {
-		case stats := <-ch:
-			all = append(all, stats...)
+		case infos := <-ch:
+			all = append(all, infos...)
 		case <-h.done:
 			return nil
 		}
 	}
-	trace.SortSessionStats(all)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
 	return all
+}
+
+// SessionStats snapshots every live session in the stable one-line-per-
+// session format (trace.SessionStat): a thin projection of SessionInfos,
+// so live SIGHUP dumps and replay reports line up line for line.
+func (h *Hub) SessionStats() []trace.SessionStat {
+	infos := h.SessionInfos()
+	stats := make([]trace.SessionStat, len(infos))
+	for i, in := range infos {
+		stats[i] = trace.SessionStat{
+			ID:           in.ID,
+			Frames:       in.Frames,
+			Measurements: in.Measurements,
+			Actions:      in.Actions,
+			Pending:      in.Pending,
+			Records:      in.Records,
+			Resamples:    in.Resamples,
+		}
+	}
+	return stats
 }
 
 // String formats the snapshot as a one-line status report.

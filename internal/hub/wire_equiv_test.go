@@ -1,0 +1,55 @@
+package hub
+
+import (
+	"testing"
+
+	"ekho/internal/transport"
+)
+
+// TestLoopbackWireEquivalence runs the same multi-session loopback fleet
+// over both wire framings: every session's ISD measurement sequence must
+// be bit-identical between v2 and RTP. The RTP encoder derives sequence
+// numbers and timestamps from the packets themselves, so framing must
+// not perturb the measurement pipeline in any way — this is the
+// end-to-end half of the RTP↔v2 equivalence (the codec-level half lives
+// in internal/rtp).
+func TestLoopbackWireEquivalence(t *testing.T) {
+	scenario := func(w transport.Wire) LoopbackScenario {
+		return LoopbackScenario{
+			Sessions:       3,
+			ContentSeconds: 8,
+			Wire:           w,
+			AirDelayFrames: func(id uint32) int { return 4 + int(id%5) },
+			ClockOffsetSec: func(id uint32) float64 { return float64(id) },
+			Attenuation:    0.1,
+		}
+	}
+	v2, err := RunLoopback(scenario(transport.WireV2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtpRep, err := RunLoopback(scenario(transport.WireRTP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2.Results) != len(rtpRep.Results) {
+		t.Fatalf("session counts differ: v2 %d, rtp %d", len(v2.Results), len(rtpRep.Results))
+	}
+	for i := range v2.Results {
+		a, b := v2.Results[i], rtpRep.Results[i]
+		if len(a.ISDs) == 0 {
+			t.Fatalf("session %d: no measurements over v2", i)
+		}
+		if len(a.ISDs) != len(b.ISDs) {
+			t.Fatalf("session %d: measurement counts differ: v2 %d, rtp %d", i, len(a.ISDs), len(b.ISDs))
+		}
+		for j := range a.ISDs {
+			if a.ISDs[j] != b.ISDs[j] {
+				t.Fatalf("session %d ISD %d: v2 %.12f, rtp %.12f", i, j, a.ISDs[j], b.ISDs[j])
+			}
+		}
+		if a.Actions != b.Actions {
+			t.Fatalf("session %d: actions v2 %d, rtp %d", i, a.Actions, b.Actions)
+		}
+	}
+}

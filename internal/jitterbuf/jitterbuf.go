@@ -51,41 +51,61 @@ func (e Event) String() string {
 	}
 }
 
+// DefaultMaxFrames caps a buffer when the caller does not choose a
+// bound: ~5 s of 20 ms frames, far beyond any sane playout threshold
+// but small enough that a stalled session cannot grow the heap.
+const DefaultMaxFrames = 256
+
 // Buffer is a sequence-ordered threshold jitter buffer.
 type Buffer struct {
 	// ThresholdFrames is how many frames must accumulate before playout
 	// starts (e.g. 3 frames = 60 ms as in §3.3's example).
 	ThresholdFrames int
+	// MaxFrames caps how many frames the buffer holds; arrivals beyond
+	// it are dropped (Stats.Overflows). A consumer that stops calling
+	// Pop — a stalled playout clock — therefore bounds its memory at
+	// MaxFrames instead of buffering the rest of the stream.
+	MaxFrames int
 
-	frames   map[int]Frame
-	nextSeq  int  // next sequence number to play
-	started  bool // reached threshold at least once since last depletion
-	played   int
-	conceals int
-	waits    int
+	frames    map[int]Frame
+	nextSeq   int  // next sequence number to play
+	started   bool // reached threshold at least once since last depletion
+	played    int
+	conceals  int
+	waits     int
+	overflows int
 }
 
-// New returns a buffer requiring thresholdFrames before playout.
+// New returns a buffer requiring thresholdFrames before playout,
+// holding at most DefaultMaxFrames.
 func New(thresholdFrames int) *Buffer {
 	if thresholdFrames < 1 {
 		thresholdFrames = 1
 	}
 	return &Buffer{
 		ThresholdFrames: thresholdFrames,
+		MaxFrames:       DefaultMaxFrames,
 		frames:          make(map[int]Frame),
 	}
 }
 
-// Push inserts a received frame. Late frames (seq already played) are
-// dropped; duplicates are ignored.
-func (b *Buffer) Push(f Frame) {
+// Push inserts a received frame and reports whether it was kept. Late
+// frames (seq already played), duplicates, and arrivals into a full
+// buffer (the overflow-drop event counted in Stats.Overflows) are
+// dropped.
+func (b *Buffer) Push(f Frame) bool {
 	if f.Seq < b.nextSeq {
-		return // too late, playout has moved past it
+		return false // too late, playout has moved past it
 	}
 	if _, ok := b.frames[f.Seq]; ok {
-		return
+		return false
+	}
+	if b.MaxFrames > 0 && len(b.frames) >= b.MaxFrames {
+		b.overflows++
+		return false
 	}
 	b.frames[f.Seq] = f
+	return true
 }
 
 // Pop is called once per frame interval by the playout clock. It returns
@@ -141,12 +161,13 @@ func (b *Buffer) Level() int { return len(b.frames) }
 // NextSeq returns the sequence number the buffer expects to play next.
 func (b *Buffer) NextSeq() int { return b.nextSeq }
 
-// Stats summarizes playout history.
+// Stats summarizes playout history. Overflows counts frames dropped on
+// arrival because the buffer was at MaxFrames.
 type Stats struct {
-	Played, Concealed, Waits int
+	Played, Concealed, Waits, Overflows int
 }
 
 // Stats returns cumulative playout counters.
 func (b *Buffer) Stats() Stats {
-	return Stats{Played: b.played, Concealed: b.conceals, Waits: b.waits}
+	return Stats{Played: b.played, Concealed: b.conceals, Waits: b.waits, Overflows: b.overflows}
 }

@@ -1,0 +1,178 @@
+package jitterbuf
+
+// Reorder is a bounded resequencing stage for a uint32-sequenced packet
+// stream: the server-side counterpart of the playout Buffer, sized for
+// the hub's chat uplink. In-order packets pass straight through (the
+// common case costs two compares and no allocation); out-of-order
+// arrivals are parked in one of `window` caller-owned slots until the
+// gap fills or the window overflows, at which point the gap is abandoned
+// and the held packets drain — the downstream sequencer sees the jump
+// and runs its existing loss-concealment path.
+//
+// The stage tracks only sequence numbers. Payload storage lives with the
+// caller, indexed by the slot numbers this type hands out: Offer returns
+// the slot to stash a held packet in, Pop returns the slot whose payload
+// is now deliverable. A popped slot is immediately reusable, so the
+// caller must consume (or copy out) its payload before the next Offer.
+//
+// The zero window is clamped to 1. All methods are single-goroutine.
+type Reorder struct {
+	window int
+	next   uint32
+	synced bool
+	held   []heldSeq
+	free   []int
+	stats  ReorderStats
+}
+
+type heldSeq struct {
+	seq  uint32
+	slot int
+}
+
+// ReorderVerdict is Offer's routing decision for one packet.
+type ReorderVerdict uint8
+
+// Offer outcomes.
+const (
+	// RDeliver: the packet is in order; process it now.
+	RDeliver ReorderVerdict = iota
+	// RHold: the packet is ahead of a gap; stash its payload in the
+	// returned slot and drain Pop.
+	RHold
+	// RDropLate: the packet is behind the cursor (already passed or
+	// concealed); drop it.
+	RDropLate
+	// RDropDup: a copy of this sequence is already held; drop it.
+	RDropDup
+	// RDropOverflow: the hold window is exhausted and no slot is free;
+	// drop the packet. (Unreachable for callers that drain Pop after
+	// every Offer — Pop force-flushes a full window — but kept as a
+	// guarantee that Offer never blocks or grows.)
+	RDropOverflow
+)
+
+// ReorderStats counts the stage's routing decisions.
+type ReorderStats struct {
+	// Delivered counts packets released in order (straight through or
+	// after resequencing); Held counts out-of-order arrivals parked.
+	Delivered uint64
+	Held      uint64
+	// Late / Duplicates / Overflows count dropped packets by cause.
+	Late       uint64
+	Duplicates uint64
+	Overflows  uint64
+	// Flushed counts abandoned gaps: the window filled while waiting, so
+	// the cursor jumped to the oldest held packet and the downstream
+	// sequencer concealed the hole.
+	Flushed uint64
+}
+
+// NewReorder returns a stage holding at most window out-of-order
+// packets.
+func NewReorder(window int) *Reorder {
+	if window < 1 {
+		window = 1
+	}
+	r := &Reorder{
+		window: window,
+		held:   make([]heldSeq, 0, window),
+		free:   make([]int, 0, window),
+	}
+	for i := window - 1; i >= 0; i-- {
+		r.free = append(r.free, i)
+	}
+	return r
+}
+
+// Offer routes one arriving sequence number. For RHold the returned slot
+// index is where the caller stashes the payload; every other verdict
+// returns -1. After any Offer the caller drains Pop.
+func (r *Reorder) Offer(seq uint32) (ReorderVerdict, int) {
+	if !r.synced {
+		// Sync to the stream like ChatSequencer does: the first packet
+		// seen defines the cursor.
+		r.synced = true
+		r.next = seq + 1
+		r.stats.Delivered++
+		return RDeliver, -1
+	}
+	if seq == r.next {
+		r.next++
+		r.stats.Delivered++
+		return RDeliver, -1
+	}
+	if int32(seq-r.next) < 0 {
+		r.stats.Late++
+		return RDropLate, -1
+	}
+	for i := range r.held {
+		if r.held[i].seq == seq {
+			r.stats.Duplicates++
+			return RDropDup, -1
+		}
+	}
+	if len(r.free) == 0 {
+		r.stats.Overflows++
+		return RDropOverflow, -1
+	}
+	slot := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	r.held = append(r.held, heldSeq{seq: seq, slot: slot})
+	r.stats.Held++
+	return RHold, slot
+}
+
+// Pop releases the next deliverable held packet: the one matching the
+// cursor or — when the window is exhausted — the oldest held packet,
+// jumping the cursor past the abandoned gap. It returns ok=false when
+// nothing is deliverable. Callers loop until false.
+func (r *Reorder) Pop() (slot int, seq uint32, ok bool) {
+	if len(r.held) == 0 {
+		return -1, 0, false
+	}
+	for i := range r.held {
+		if r.held[i].seq == r.next {
+			h := r.held[i]
+			r.next++
+			r.release(i)
+			r.stats.Delivered++
+			return h.slot, h.seq, true
+		}
+	}
+	if len(r.free) == 0 {
+		i := r.oldestIdx()
+		h := r.held[i]
+		r.next = h.seq + 1
+		r.release(i)
+		r.stats.Flushed++
+		r.stats.Delivered++
+		return h.slot, h.seq, true
+	}
+	return -1, 0, false
+}
+
+// release removes held entry i and returns its slot to the free list.
+func (r *Reorder) release(i int) {
+	r.free = append(r.free, r.held[i].slot)
+	r.held[i] = r.held[len(r.held)-1]
+	r.held = r.held[:len(r.held)-1]
+}
+
+// oldestIdx returns the index of the smallest held sequence (wraparound-
+// aware).
+func (r *Reorder) oldestIdx() int {
+	oldest := 0
+	for i := 1; i < len(r.held); i++ {
+		if int32(r.held[i].seq-r.held[oldest].seq) < 0 {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+// Pending returns how many packets are currently held.
+func (r *Reorder) Pending() int { return len(r.held) }
+
+// Stats returns the stage's cumulative counters.
+func (r *Reorder) Stats() ReorderStats { return r.stats }

@@ -13,8 +13,19 @@ import (
 	"ekho/internal/audio"
 	"ekho/internal/codec"
 	"ekho/internal/jitterbuf"
+	"ekho/internal/rtp"
 	"ekho/internal/transport"
 )
+
+// wireEnc maps a device's configured wire framing onto its stateless
+// encoder. The air hop between screen and headset always stays on v2
+// framing — it emulates sound through a room, not a production link.
+func wireEnc(w transport.Wire) transport.WireEncoder {
+	if w == transport.WireRTP {
+		return rtp.Encoder{}
+	}
+	return transport.V2{}
+}
 
 // cleanRecvErr reports whether a socket error marks an expected end of a
 // run (our own close, or a read deadline expiring after the stream went
@@ -44,7 +55,10 @@ type ScreenConfig struct {
 	ExtraDelay   time.Duration
 	JitterFrames int
 	Duration     time.Duration
-	Logf         Logf
+	// Wire selects the framing spoken with the server (default v2; the
+	// air forwarding hop is always v2).
+	Wire transport.Wire
+	Logf Logf
 }
 
 // ScreenStats summarizes a screen run.
@@ -75,6 +89,8 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 		return stats, err
 	}
 	defer conn.Close()
+	conn.SetDecoder(rtp.NewCodec()) // server replies in the helloed framing
+	wenc := wireEnc(cfg.Wire)
 	serverAddr, err := transport.ResolveUDP(cfg.Server)
 	if err != nil {
 		return stats, err
@@ -84,7 +100,7 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 		return stats, err
 	}
 	hello := transport.Hello{Session: cfg.Session, Role: transport.RoleScreen}
-	if err := conn.SendTo(transport.EncodeHello(hello), serverAddr); err != nil {
+	if err := conn.SendTo(wenc.AppendHello(nil, hello), serverAddr); err != nil {
 		return stats, fmt.Errorf("live: hello: %w", err)
 	}
 	logf("screen up; media from %s (session %d), playing into %s with +%s lag",
@@ -170,7 +186,7 @@ func RunScreen(cfg ScreenConfig) (ScreenStats, error) {
 			}
 		}
 	}
-	if err := conn.SendTo(transport.EncodeBye(transport.Bye{Session: cfg.Session}), serverAddr); err != nil {
+	if err := conn.SendTo(wenc.AppendBye(nil, transport.Bye{Session: cfg.Session}), serverAddr); err != nil {
 		return stats, fmt.Errorf("live: bye: %w", err)
 	}
 	logf("done: played %d frames, forwarded %d to the air", stats.Played, stats.Forwarded)
@@ -188,7 +204,9 @@ type ClientConfig struct {
 	Attenuation  float64
 	JitterFrames int
 	Duration     time.Duration
-	Logf         Logf
+	// Wire selects the framing spoken with the server (default v2).
+	Wire transport.Wire
+	Logf Logf
 	// AirReady, if non-nil, receives the bound air address.
 	AirReady chan<- string
 }
@@ -263,6 +281,8 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 		return stats, err
 	}
 	defer conn.Close()
+	conn.SetDecoder(rtp.NewCodec()) // server replies in the helloed framing
+	wenc := wireEnc(cfg.Wire)
 	airConn, err := transport.Listen(cfg.AirListen)
 	if err != nil {
 		return stats, err
@@ -276,7 +296,7 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 		return stats, err
 	}
 	hello := transport.Hello{Session: cfg.Session, Role: transport.RoleController}
-	if err := conn.SendTo(transport.EncodeHello(hello), serverAddr); err != nil {
+	if err := conn.SendTo(wenc.AppendHello(nil, hello), serverAddr); err != nil {
 		return stats, fmt.Errorf("live: hello: %w", err)
 	}
 	logf("controller up (session %d); air on %s, clock offset %s",
@@ -387,7 +407,7 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 			mu.Unlock()
 			chat := transport.Chat{
 				Seq: chatSeq, Session: cfg.Session, ADCMicros: adc, Records: recs, Encoded: pkt}
-			b, err := transport.EncodeChat(chat)
+			b, err := wenc.AppendChat(nil, chat)
 			if err != nil {
 				return stats, fmt.Errorf("live: encode chat: %w", err)
 			}
@@ -397,7 +417,7 @@ func RunClient(cfg ClientConfig) (ClientStats, error) {
 			}
 		}
 	}
-	if err := conn.SendTo(transport.EncodeBye(transport.Bye{Session: cfg.Session}), serverAddr); err != nil {
+	if err := conn.SendTo(wenc.AppendBye(nil, transport.Bye{Session: cfg.Session}), serverAddr); err != nil {
 		return stats, fmt.Errorf("live: bye: %w", err)
 	}
 	stats.ChatPackets = int(chatSeq)

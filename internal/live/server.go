@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ekho/internal/hub"
+	"ekho/internal/rtp"
 	"ekho/internal/transport"
 )
 
@@ -64,6 +65,9 @@ func RunServer(cfg ServerConfig) (ServerStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	// Accept both wire framings; each session replies in whatever framing
+	// its Hello arrived in, so the demo server is wire-agnostic.
+	conn.SetDecoder(rtp.NewCodec())
 	if cfg.Ready != nil {
 		cfg.Ready <- conn.LocalAddr()
 	}

@@ -1,0 +1,264 @@
+// Package metrics is the hub's lock-cheap observability plane: counters,
+// gauges and peak trackers that hot paths update with single atomic
+// operations, collected in a Registry that renders the Prometheus text
+// exposition format over HTTP. It replaces SIGHUP snapshot dumps as the
+// primary way to watch a running hub.
+//
+// Design constraints, in order:
+//
+//   - increments must cost one uncontended atomic add (no map lookups,
+//     no locks, no label hashing on the hot path — callers hold a
+//     *Counter, resolved once at registration time);
+//   - registration is rare and may take a lock;
+//   - rendering walks the registry under the lock but reads each metric
+//     with a single atomic load, so scrapes never stall the packet path.
+//
+// Metric names follow Prometheus conventions and may carry a literal
+// label set chosen at registration time (e.g.
+// `ekho_shard_packets_total{shard="3"}`): the registry groups samples
+// into families by the name before the brace, emitting one HELP/TYPE
+// header per family.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; this is
+// not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an int64 that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative) and returns the new value.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// BumpMax raises the gauge to at least v (a high-water mark).
+func (g *Gauge) BumpMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// FloatMax tracks the maximum of a stream of float64 observations (e.g.
+// peak |ISD|). The zero value reads as 0.
+type FloatMax struct {
+	bits atomic.Uint64
+}
+
+// Observe raises the tracked maximum to at least v. Observations ≤ 0
+// are ignored (the zero value doubles as "nothing observed"); callers
+// tracking a peak magnitude pass math.Abs(v).
+func (m *FloatMax) Observe(v float64) {
+	for {
+		old := m.bits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			return
+		}
+		if old == 0 && v <= 0 {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far (0 before any observation).
+func (m *FloatMax) Load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindFloatMax
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	if k == kindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+type entry struct {
+	name string // full sample name, possibly with {labels}
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	f    *FloatMax
+	fn   func() float64
+}
+
+func (e *entry) value() float64 {
+	switch e.kind {
+	case kindCounter:
+		return float64(e.c.Load())
+	case kindGauge:
+		return float64(e.g.Load())
+	case kindFloatMax:
+		return e.f.Load()
+	default:
+		return e.fn()
+	}
+}
+
+// family returns the metric family: the sample name before any label set.
+func (e *entry) family() string {
+	if i := strings.IndexByte(e.name, '{'); i >= 0 {
+		return e.name[:i]
+	}
+	return e.name
+}
+
+// Registry holds named metrics and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byName[name]; ok {
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = new(Counter)
+	case kindGauge:
+		e.g = new(Gauge)
+	case kindFloatMax:
+		e.f = new(FloatMax)
+	}
+	r.entries = append(r.entries, e)
+	r.byName[name] = e
+	return e
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Max registers (or returns the existing) peak tracker under name,
+// rendered as a gauge.
+func (r *Registry) Max(name, help string) *FloatMax {
+	return r.register(name, help, kindFloatMax).f
+}
+
+// GaugeFunc registers a derived gauge computed at scrape time. The
+// function must be safe to call concurrently. Re-registering a name
+// keeps the first function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	e := r.register(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	if e.fn == nil {
+		e.fn = fn
+	}
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), families in registration order with samples
+// sorted within each family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+
+	// Group by family, keeping first-registration order for families and
+	// sorting samples inside each (stable, diffable output).
+	order := make([]string, 0, len(entries))
+	byFam := make(map[string][]*entry, len(entries))
+	for _, e := range entries {
+		fam := e.family()
+		if _, ok := byFam[fam]; !ok {
+			order = append(order, fam)
+		}
+		byFam[fam] = append(byFam[fam], e)
+	}
+	for _, fam := range order {
+		es := byFam[fam]
+		sort.Slice(es, func(i, j int) bool { return es[i].name < es[j].name })
+		if es[0].help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, es[0].help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, es[0].kind.promType()); err != nil {
+			return err
+		}
+		for _, e := range es {
+			if _, err := fmt.Fprintf(w, "%s %s\n", e.name, formatValue(e.value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value: integral values without an
+// exponent, everything else in Go's shortest float form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry at its mount point in the Prometheus text
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "a counter")
+	b := r.Counter("x_total", "ignored duplicate help")
+	if a != b {
+		t.Fatal("re-registration must return the same counter")
+	}
+	a.Inc()
+	if b.Load() != 1 {
+		t.Fatal("shared handle")
+	}
+}
+
+func TestCounterGaugeMax(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter %d", c.Load())
+	}
+	var g Gauge
+	if g.Add(3) != 3 || g.Add(-1) != 2 {
+		t.Fatal("gauge add")
+	}
+	g.BumpMax(10)
+	g.BumpMax(7) // lower: no effect
+	if g.Load() != 10 {
+		t.Fatalf("gauge %d", g.Load())
+	}
+	var m FloatMax
+	m.Observe(1.5)
+	m.Observe(0.5)
+	m.Observe(-3) // ignored
+	if m.Load() != 1.5 {
+		t.Fatalf("max %g", m.Load())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ekho_packets_total", "packets seen").Add(42)
+	// Labeled samples of one family, registered out of order: the render
+	// must group them under one HELP/TYPE header, sorted.
+	r.Counter(`ekho_shard_packets_total{shard="1"}`, "per-shard packets").Add(2)
+	r.Counter(`ekho_shard_packets_total{shard="0"}`, "per-shard packets").Add(1)
+	r.Gauge("ekho_sessions_active", "live sessions").Set(3)
+	r.Max("ekho_isd_peak_abs_ms", "peak |ISD|").Observe(1.25)
+	r.GaugeFunc("ekho_match_rate", "derived", func() float64 { return 0.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP ekho_packets_total packets seen
+# TYPE ekho_packets_total counter
+ekho_packets_total 42
+# HELP ekho_shard_packets_total per-shard packets
+# TYPE ekho_shard_packets_total counter
+ekho_shard_packets_total{shard="0"} 1
+ekho_shard_packets_total{shard="1"} 2
+# HELP ekho_sessions_active live sessions
+# TYPE ekho_sessions_active gauge
+ekho_sessions_active 3
+# HELP ekho_isd_peak_abs_ms peak |ISD|
+# TYPE ekho_isd_peak_abs_ms gauge
+ekho_isd_peak_abs_ms 1.25
+# HELP ekho_match_rate derived
+# TYPE ekho_match_rate gauge
+ekho_match_rate 0.5
+`
+	if got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		42:       "42",
+		-3:       "-3",
+		1.25:     "1.25",
+		0.001:    "0.001",
+		1e18:     "1e+18",
+		123456.5: "123456.5",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if c.Load() != 4000 {
+		t.Fatalf("counter %d", c.Load())
+	}
+}
+
+// TestIncrementAllocFree pins the packet-path contract: bumping a
+// registered metric costs one atomic op and zero allocations.
+func TestIncrementAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y", "")
+	m := r.Max("z", "")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(1)
+		m.Observe(1)
+	}); allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f per round", allocs)
+	}
+}

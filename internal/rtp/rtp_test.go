@@ -1,0 +1,231 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	in := Header{Marker: true, PayloadType: PTMedia, Seq: 0xBEEF, Timestamp: 123456789, SSRC: 0xCAFEBABE}
+	b := AppendHeader(nil, in)
+	if len(b) != HeaderLen {
+		t.Fatalf("header length %d, want %d", len(b), HeaderLen)
+	}
+	if b[0]>>6 != Version {
+		t.Fatalf("version bits %d", b[0]>>6)
+	}
+	out, payload, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+	if len(payload) != 0 {
+		t.Fatalf("payload %d bytes, want 0", len(payload))
+	}
+}
+
+// TestParseHeaderSkipsCSRCAndExtension builds a packet with features the
+// encoder never emits — a CSRC list, a header extension and padding —
+// and checks the parser strips all three.
+func TestParseHeaderSkipsCSRCAndExtension(t *testing.T) {
+	b := AppendHeader(nil, Header{PayloadType: PTMedia, Seq: 7, SSRC: 9})
+	b[0] |= 0x02 | 0x10 | 0x20            // cc=2, extension, padding
+	b = append(b, 1, 1, 1, 1, 2, 2, 2, 2) // two CSRCs
+	// Extension: profile id, length=1 word, then 4 bytes.
+	b = binary.BigEndian.AppendUint16(b, 0xBEDE)
+	b = binary.BigEndian.AppendUint16(b, 1)
+	b = append(b, 9, 9, 9, 9)
+	b = append(b, 'p', 'a', 'y')
+	b = append(b, 0, 0, 3) // 3 bytes of padding, count in the last byte
+	h, payload, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Padding || h.Seq != 7 || h.SSRC != 9 {
+		t.Fatalf("header %+v", h)
+	}
+	if string(payload) != "pay" {
+		t.Fatalf("payload %q, want \"pay\"", payload)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	valid := AppendHeader(nil, Header{PayloadType: PTMedia})
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"short", valid[:HeaderLen-1], ErrBadPacket},
+		{"wrong version", append([]byte{0x00}, valid[1:]...), ErrNotRTP},
+		{"truncated csrc", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] |= 0x01 // cc=1 but no CSRC bytes
+			return b
+		}(), ErrBadPacket},
+		{"truncated extension", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] |= 0x10
+			return append(b, 0, 0) // half an extension header
+		}(), ErrBadPacket},
+		{"padding count zero", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] |= 0x20
+			return append(b, 0)
+		}(), ErrBadPacket},
+		{"padding past payload", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] |= 0x20
+			return append(b, 1, 2, 200)
+		}(), ErrBadPacket},
+	}
+	for _, tc := range cases {
+		if _, _, err := ParseHeader(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPacketizerFreeRunningClock(t *testing.T) {
+	p := NewAudioPacketizer(42, PTMedia)
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf = p.Packetize(buf[:0], []byte{byte(i)}, 960)
+		h, payload, err := ParseHeader(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Seq != uint16(i) || h.Timestamp != uint32(i)*960 || h.SSRC != 42 {
+			t.Fatalf("packet %d: header %+v", i, h)
+		}
+		if len(payload) != 1 || payload[0] != byte(i) {
+			t.Fatalf("packet %d: payload %v", i, payload)
+		}
+	}
+}
+
+func TestDepacketizerExtendsAcrossRollover(t *testing.T) {
+	d := NewAudioDepacketizer(1)
+	feed := []uint16{0xFFFE, 0xFFFF, 0x0000, 0x0001}
+	want := []uint32{0xFFFE, 0xFFFF, 0x10000, 0x10001}
+	for i, s := range feed {
+		got, err := d.Observe(Header{SSRC: 1, Seq: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("seq %#x: extended %#x, want %#x", s, got, want[i])
+		}
+	}
+}
+
+func TestDepacketizerReorderAcrossWrap(t *testing.T) {
+	d := NewAudioDepacketizer(1)
+	mustObserve(t, d, 0xFFFE) // sync
+	mustObserve(t, d, 0x0003) // forward across the wrap: cycle 1
+	// A straggler from before the wrap must extend into cycle 0.
+	if got := mustObserve(t, d, 0xFFFF); got != 0xFFFF {
+		t.Fatalf("pre-wrap straggler extended to %#x, want 0xFFFF", got)
+	}
+	// A reordered packet from after the wrap stays in cycle 1.
+	if got := mustObserve(t, d, 0x0001); got != 0x10001 {
+		t.Fatalf("post-wrap straggler extended to %#x, want 0x10001", got)
+	}
+	st := d.Stats()
+	if st.Reordered != 2 {
+		t.Fatalf("reordered %d, want 2", st.Reordered)
+	}
+	if st.Lost != 4 { // 0xFFFF..0x0002 skipped on the forward step
+		t.Fatalf("lost %d, want 4", st.Lost)
+	}
+}
+
+func mustObserve(t *testing.T, d *AudioDepacketizer, s uint16) uint32 {
+	t.Helper()
+	got, err := d.Observe(Header{SSRC: 1, Seq: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestDepacketizerAnomalyCounters(t *testing.T) {
+	d := NewAudioDepacketizer(0) // learn SSRC from the first packet
+	if _, err := d.Observe(Header{SSRC: 5, Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	mustObserveSSRC(t, d, 5, 1)
+	mustObserveSSRC(t, d, 5, 1) // duplicate
+	mustObserveSSRC(t, d, 5, 4) // gap: 2, 3 lost
+	mustObserveSSRC(t, d, 5, 3) // one arrives late after all
+	if _, err := d.Observe(Header{SSRC: 6, Seq: 7}); !errors.Is(err, ErrWrongSource) {
+		t.Fatalf("foreign SSRC: err %v", err)
+	}
+	st := d.Stats()
+	want := DepacketizerStats{Packets: 5, Reordered: 1, Lost: 2, Duplicates: 1, WrongSSRC: 1}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+}
+
+func mustObserveSSRC(t *testing.T, d *AudioDepacketizer, ssrc uint32, s uint16) {
+	t.Helper()
+	if _, err := d.Observe(Header{SSRC: ssrc, Seq: s}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtendRecoversShuffledStream is the reorder/loss/duplicate property
+// test: a 32-bit sequence stream shuffled within a bounded window, with
+// random drops and duplicates, must always extend back to the original
+// 32-bit values — including across 16-bit rollovers.
+func TestExtendRecoversShuffledStream(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Start below the 16-bit boundary so the stream straddles a
+		// rollover (the first-seen packet must still be in cycle 0).
+		base := uint32(0xFE00) + uint32(rng.Intn(0x100))
+		const n = 600
+		type pkt struct{ seq uint32 }
+		var stream []pkt
+		for i := 0; i < n; i++ {
+			seq := base + uint32(i)
+			if rng.Float64() < 0.05 {
+				continue // lost
+			}
+			stream = append(stream, pkt{seq})
+			if rng.Float64() < 0.03 {
+				stream = append(stream, pkt{seq}) // duplicated
+			}
+		}
+		// Shuffle within a window far below the 0x8000 ambiguity bound.
+		const window = 16
+		for i := range stream {
+			j := i + rng.Intn(window)
+			if j >= len(stream) {
+				j = len(stream) - 1
+			}
+			stream[i], stream[j] = stream[j], stream[i]
+		}
+		d := NewAudioDepacketizer(1)
+		for _, p := range stream {
+			got, err := d.Observe(Header{SSRC: 1, Seq: uint16(p.seq)})
+			if err != nil {
+				return false
+			}
+			if got != p.seq {
+				t.Logf("seed %d: wire %#x extended to %#x, want %#x", seed, uint16(p.seq), got, p.seq)
+				return false
+			}
+		}
+		return d.Stats().Packets == uint64(len(stream))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -122,15 +122,118 @@ var ErrBadPacket = errors.New("transport: bad packet")
 // receive limit). Encoders return it instead of silently truncating.
 var ErrOversize = errors.New("transport: payload exceeds wire limits")
 
-// maxDatagram bounds decode allocations and encoded datagram size.
-const maxDatagram = 64 * 1024
+// MaxDatagram bounds decode allocations and encoded datagram size for
+// every wire codec sharing the socket (alternative codecs add their own
+// header to the same payload bodies, so they share the limit).
+const MaxDatagram = 64 * 1024
 
-// maxCount is the largest value a u16 count field can carry.
-const maxCount = 1<<16 - 1
+// maxDatagram is the internal alias used by the v2 encoders.
+const maxDatagram = MaxDatagram
 
-func header(t PacketType, seq, session uint32) []byte {
-	return appendHeader(make([]byte, 0, 64), t, seq, session)
+// MaxCount is the largest value a u16 count field can carry (sample,
+// record and encoded-byte counts in the payload bodies).
+const MaxCount = 1<<16 - 1
+
+// maxCount is the internal alias used by the v2 encoders.
+const maxCount = MaxCount
+
+// Wire identifies a wire codec: how Ekho payloads are framed on the
+// socket. The framing is a per-session choice made by the client's first
+// packet; payload bodies are identical across codecs.
+type Wire uint8
+
+// Wire codecs.
+const (
+	// WireV2 is this package's native framing (the v1/v2 header above).
+	WireV2 Wire = iota
+	// WireRTP is standards-shaped RTP framing (internal/rtp): a 12-byte
+	// RFC 3550 header carrying the same little-endian payload bodies.
+	WireRTP
+)
+
+// String implements fmt.Stringer.
+func (w Wire) String() string {
+	switch w {
+	case WireV2:
+		return "v2"
+	case WireRTP:
+		return "rtp"
+	default:
+		return fmt.Sprintf("wire(%d)", uint8(w))
+	}
 }
+
+// ParseWire maps a -wire flag value to a Wire.
+func ParseWire(s string) (Wire, bool) {
+	switch s {
+	case "v2":
+		return WireV2, true
+	case "rtp":
+		return WireRTP, true
+	default:
+		return 0, false
+	}
+}
+
+// Decoder turns one datagram into a Message. Implementations may be
+// stateful (the RTP decoder tracks per-stream sequence state), so a
+// Decoder instance belongs to exactly one receive loop. DecodeInto must
+// follow this package's arena contract: reuse the capacity of msg's
+// payload slices, never alias b, and park the retained capacity back in
+// msg on error.
+type Decoder interface {
+	DecodeInto(msg *Message, b []byte) error
+}
+
+// WireEncoder serializes outbound packets in one wire framing.
+// Implementations are stateless and shareable across sessions: sequence
+// numbers and timestamps derive from the payloads themselves, which
+// keeps encodes deterministic (replay- and equivalence-friendly).
+type WireEncoder interface {
+	// Wire names the framing this encoder emits.
+	Wire() Wire
+	// AppendMedia/AppendChat append one encoded packet to dst, returning
+	// the extended slice (dst unmodified on error), like AppendMedia and
+	// AppendChat in this package.
+	AppendMedia(dst []byte, m Media) ([]byte, error)
+	AppendChat(dst []byte, c Chat) ([]byte, error)
+	// Control packets are small and cannot fail to encode.
+	AppendHello(dst []byte, h Hello) []byte
+	AppendBye(dst []byte, b Bye) []byte
+	AppendBusy(dst []byte, b Busy) []byte
+}
+
+// WireCodec is a full wire codec: both directions of one framing (or,
+// for sniffing decoders, several accepted framings behind one Decoder).
+type WireCodec interface {
+	WireEncoder
+	Decoder
+}
+
+// V2 is the native wire codec as a WireCodec value: the same stateless
+// package-level encode/decode functions behind the seam interface.
+type V2 struct{}
+
+// Wire implements WireEncoder.
+func (V2) Wire() Wire { return WireV2 }
+
+// AppendMedia implements WireEncoder.
+func (V2) AppendMedia(dst []byte, m Media) ([]byte, error) { return AppendMedia(dst, m) }
+
+// AppendChat implements WireEncoder.
+func (V2) AppendChat(dst []byte, c Chat) ([]byte, error) { return AppendChat(dst, c) }
+
+// AppendHello implements WireEncoder.
+func (V2) AppendHello(dst []byte, h Hello) []byte { return AppendHello(dst, h) }
+
+// AppendBye implements WireEncoder.
+func (V2) AppendBye(dst []byte, b Bye) []byte { return AppendBye(dst, b) }
+
+// AppendBusy implements WireEncoder.
+func (V2) AppendBusy(dst []byte, b Busy) []byte { return AppendBusy(dst, b) }
+
+// DecodeInto implements Decoder.
+func (V2) DecodeInto(msg *Message, b []byte) error { return DecodeInto(msg, b) }
 
 // appendHeader appends a v1 (8-byte) or v2 (12-byte, session-flagged)
 // header to dst.
@@ -192,18 +295,46 @@ func AppendMedia(dst []byte, m Media) ([]byte, error) {
 		return dst, fmt.Errorf("%w: media datagram with %d samples > %d bytes", ErrOversize, len(m.Samples), maxDatagram)
 	}
 	dst = appendHeader(dst, TypeMedia, m.Seq, m.Session)
+	return appendMediaBody(dst, m), nil
+}
+
+// MediaBodyLen returns the encoded size of a media payload body
+// (everything after the wire header, identical across codecs).
+func MediaBodyLen(m Media) int { return 12 + 2*len(m.Samples) }
+
+// AppendMediaBody appends the codec-independent media payload body to
+// dst: contentStart i64 | contentOff u16 | nSamples u16 | samples i16...
+// (little-endian). Alternative wire codecs prepend their own header. The
+// caller is responsible for the MaxCount / datagram-size checks (see
+// AppendMedia); on violation dst is returned unmodified with ErrOversize.
+func AppendMediaBody(dst []byte, m Media) ([]byte, error) {
+	if len(m.Samples) > maxCount {
+		return dst, fmt.Errorf("%w: %d samples > %d", ErrOversize, len(m.Samples), maxCount)
+	}
+	return appendMediaBody(dst, m), nil
+}
+
+func appendMediaBody(dst []byte, m Media) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.ContentStart))
 	dst = binary.LittleEndian.AppendUint16(dst, m.ContentOff)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Samples)))
 	for _, s := range m.Samples {
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(s))
 	}
-	return dst, nil
+	return dst
 }
 
 // DecodeMedia parses a media frame body (after the header).
 func DecodeMedia(seq, session uint32, body []byte) (Media, error) {
 	return decodeMediaInto(nil, seq, session, body)
+}
+
+// DecodeMediaBody is decodeMediaInto for alternative wire codecs: it
+// parses a codec-independent media body, appending samples onto the
+// given (capacity-reused) slice. On error the retained slice is handed
+// back via Media.Samples so the caller's arena slot keeps its capacity.
+func DecodeMediaBody(samples []int16, seq, session uint32, body []byte) (Media, error) {
+	return decodeMediaInto(samples, seq, session, body)
 }
 
 // decodeMediaInto parses a media body, appending samples onto the given
@@ -249,6 +380,27 @@ func AppendChat(dst []byte, c Chat) ([]byte, error) {
 		return dst, fmt.Errorf("%w: chat datagram > %d bytes", ErrOversize, maxDatagram)
 	}
 	dst = appendHeader(dst, TypeChat, c.Seq, c.Session)
+	return appendChatBody(dst, c), nil
+}
+
+// ChatBodyLen returns the encoded size of a chat payload body.
+func ChatBodyLen(c Chat) int { return 10 + 18*len(c.Records) + 2 + len(c.Encoded) }
+
+// AppendChatBody appends the codec-independent chat payload body to dst
+// (see the package comment for the layout). Like AppendMediaBody, on a
+// count violation dst is returned unmodified with ErrOversize; datagram
+// sizing is the wire codec's job.
+func AppendChatBody(dst []byte, c Chat) ([]byte, error) {
+	if len(c.Records) > maxCount {
+		return dst, fmt.Errorf("%w: %d playback records > %d", ErrOversize, len(c.Records), maxCount)
+	}
+	if len(c.Encoded) > maxCount {
+		return dst, fmt.Errorf("%w: %d encoded bytes > %d", ErrOversize, len(c.Encoded), maxCount)
+	}
+	return appendChatBody(dst, c), nil
+}
+
+func appendChatBody(dst []byte, c Chat) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.ADCMicros))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(c.Records)))
 	for _, r := range c.Records {
@@ -258,12 +410,20 @@ func AppendChat(dst []byte, c Chat) ([]byte, error) {
 	}
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(c.Encoded)))
 	dst = append(dst, c.Encoded...)
-	return dst, nil
+	return dst
 }
 
 // DecodeChat parses a chat packet body.
 func DecodeChat(seq, session uint32, body []byte) (Chat, error) {
 	return decodeChatInto(nil, nil, seq, session, body)
+}
+
+// DecodeChatBody is decodeChatInto for alternative wire codecs: it
+// parses a codec-independent chat body, appending records and encoded
+// bytes onto the given (capacity-reused) slices. On error the retained
+// slices are handed back via the Chat fields.
+func DecodeChatBody(records []PlaybackRecord, encoded []byte, seq, session uint32, body []byte) (Chat, error) {
+	return decodeChatInto(records, encoded, seq, session, body)
 }
 
 // decodeChatInto parses a chat body, appending records and encoded bytes
@@ -304,8 +464,13 @@ func decodeChatInto(records []PlaybackRecord, encoded []byte, seq, session uint3
 
 // EncodeHello serializes a hello.
 func EncodeHello(h Hello) []byte {
-	b := header(TypeHello, h.Seq, h.Session)
-	return append(b, byte(h.Role))
+	return AppendHello(make([]byte, 0, 64), h)
+}
+
+// AppendHello is EncodeHello appending to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = appendHeader(dst, TypeHello, h.Seq, h.Session)
+	return append(dst, byte(h.Role))
 }
 
 // DecodeHello parses a hello body.
@@ -318,15 +483,25 @@ func DecodeHello(seq, session uint32, body []byte) (Hello, error) {
 
 // EncodeBye serializes a bye.
 func EncodeBye(b Bye) []byte {
-	return header(TypeBye, b.Seq, b.Session)
+	return AppendBye(make([]byte, 0, 64), b)
+}
+
+// AppendBye is EncodeBye appending to dst.
+func AppendBye(dst []byte, b Bye) []byte {
+	return appendHeader(dst, TypeBye, b.Seq, b.Session)
 }
 
 // EncodeBusy serializes a busy reject.
 func EncodeBusy(b Busy) []byte {
-	h := header(TypeBusy, b.Seq, b.Session)
-	h = binary.LittleEndian.AppendUint32(h, b.Active)
-	h = binary.LittleEndian.AppendUint32(h, b.Capacity)
-	return h
+	return AppendBusy(make([]byte, 0, 64), b)
+}
+
+// AppendBusy is EncodeBusy appending to dst.
+func AppendBusy(dst []byte, b Busy) []byte {
+	dst = appendHeader(dst, TypeBusy, b.Seq, b.Session)
+	dst = binary.LittleEndian.AppendUint32(dst, b.Active)
+	dst = binary.LittleEndian.AppendUint32(dst, b.Capacity)
+	return dst
 }
 
 // DecodeBusy parses a busy body.
@@ -345,14 +520,19 @@ func DecodeBusy(seq, session uint32, body []byte) (Busy, error) {
 // Message is a decoded incoming datagram plus its sender.
 type Message struct {
 	Type PacketType
-	// Session is the header's session identifier (0 for v1 packets).
+	// Session is the header's session identifier (0 for v1 packets; the
+	// SSRC for RTP framing).
 	Session uint32
-	Media   Media
-	Chat    Chat
-	Hello   Hello
-	Bye     Bye
-	Busy    Busy
-	From    net.Addr
+	// Wire records which framing carried the datagram, set by the
+	// decoder. Servers latch it from a session's first Hello so replies
+	// go back in the framing the client speaks.
+	Wire  Wire
+	Media Media
+	Chat  Chat
+	Hello Hello
+	Bye   Bye
+	Busy  Busy
+	From  net.Addr
 }
 
 // Decode parses any Ekho datagram. The returned message owns its data:
@@ -409,6 +589,10 @@ func DecodeInto(msg *Message, b []byte) error {
 type Conn struct {
 	pc  net.PacketConn
 	buf []byte
+	// dec decodes inbound datagrams (default: the native V2 codec).
+	// SetDecoder swaps in a sniffing mux (rtp.NewCodec) to accept
+	// alternative framings on the same socket.
+	dec Decoder
 }
 
 // Listen opens a UDP socket on the address (e.g. "127.0.0.1:0").
@@ -417,7 +601,16 @@ func Listen(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &Conn{pc: pc, buf: make([]byte, maxDatagram)}, nil
+	return &Conn{pc: pc, buf: make([]byte, maxDatagram), dec: V2{}}, nil
+}
+
+// SetDecoder replaces the framing decoder for inbound datagrams. It must
+// be called before the receive loops start: the decoder may be stateful
+// and is used without locking.
+func (c *Conn) SetDecoder(d Decoder) {
+	if d != nil {
+		c.dec = d
+	}
 }
 
 // LocalAddr returns the bound address.
@@ -445,8 +638,8 @@ func (c *Conn) Recv(deadline time.Time) (Message, error) {
 		if err != nil {
 			return Message{}, err
 		}
-		msg, err := Decode(c.buf[:n])
-		if err != nil {
+		var msg Message
+		if err := c.dec.DecodeInto(&msg, c.buf[:n]); err != nil {
 			continue // ignore stray datagrams
 		}
 		msg.From = from
@@ -512,7 +705,7 @@ func (c *Conn) RecvBatch(deadline time.Time, msgs []Message) (int, error) {
 				return n, fmt.Errorf("transport: deadline: %w", err)
 			}
 		}
-		if derr := DecodeInto(&msgs[n], c.buf[:nb]); derr != nil {
+		if derr := c.dec.DecodeInto(&msgs[n], c.buf[:nb]); derr != nil {
 			continue // ignore stray datagrams
 		}
 		switch msgs[n].Type {
